@@ -1,0 +1,214 @@
+package adaptdb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func usersRows(n int, seed int64) []Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{Int(int64(i)), Int(rng.Int63n(80)), String([]string{"us", "uk", "de"}[rng.Intn(3)])}
+	}
+	return rows
+}
+
+func ordersRows(n, users int, seed int64) []Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{Int(int64(i)), Int(rng.Int63n(int64(users))), Float(rng.Float64() * 100)}
+	}
+	return rows
+}
+
+func openFixture(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Options{RowsPerBlock: 64, Seed: 7})
+	if _, err := db.CreateTable("users", NewSchema(
+		Col("id", KindInt), Col("age", KindInt), Col("country", KindString),
+	), usersRows(1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("orders", NewSchema(
+		Col("oid", KindInt), Col("uid", KindInt), Col("amount", KindFloat),
+	), ordersRows(3000, 1000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := Open(Options{})
+	sch := NewSchema(Col("id", KindInt))
+	if _, err := db.CreateTable("t", sch, []Row{{String("no")}}); err == nil {
+		t.Errorf("non-conforming row accepted")
+	}
+	if _, err := db.CreateTable("t", sch, []Row{{Int(1)}}); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if _, err := db.CreateTable("t", sch, nil); err == nil {
+		t.Errorf("duplicate table accepted")
+	}
+	if db.Table("t") == nil || db.Table("missing") != nil {
+		t.Errorf("Table lookup wrong")
+	}
+}
+
+func TestScanQuery(t *testing.T) {
+	db := openFixture(t)
+	res, err := db.Query("users").Where("age", GE, Int(40)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r[1].Int64() < 40 {
+			t.Fatalf("predicate violated: %v", r)
+		}
+	}
+	if res.Stats.SimSeconds <= 0 || res.Stats.BlocksScanned == 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+	if len(res.Stats.Strategies) != 0 {
+		t.Errorf("scan should report no joins")
+	}
+}
+
+func TestWhereInQuery(t *testing.T) {
+	db := openFixture(t)
+	res, err := db.Query("users").WhereIn("country", String("us"), String("uk")).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if c := r[2].Str(); c != "us" && c != "uk" {
+			t.Fatalf("IN violated: %v", r)
+		}
+	}
+}
+
+func TestJoinQueryCorrectAndAdaptive(t *testing.T) {
+	db := openFixture(t)
+	var last *Result
+	for i := 0; i < 12; i++ {
+		res, err := db.Query("orders").Join("users", "uid", "id").Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 3000 { // every order matches exactly one user
+			t.Fatalf("join produced %d rows, want 3000", len(res.Rows))
+		}
+		last = res
+	}
+	// After a steady join workload the tables converge to join-attribute
+	// trees and the planner should be running hyper-joins.
+	if got := last.Stats.Strategies; len(got) != 1 || got[0] != "hyper" {
+		t.Errorf("converged workload should hyper-join, got %v", got)
+	}
+	us := db.Table("users").Stats()
+	found := false
+	for _, a := range us.JoinAttrs {
+		if a == "id" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("users should have adapted to a tree on id: %+v", us)
+	}
+	if db.TotalSimSeconds() <= 0 {
+		t.Errorf("cumulative time not tracked")
+	}
+}
+
+func TestMultiJoin(t *testing.T) {
+	db := openFixture(t)
+	// Add a countries dimension and run a 3-way join.
+	if _, err := db.CreateTable("countries", NewSchema(
+		Col("code", KindString), Col("region", KindString),
+	), []Row{
+		{String("us"), String("amer")},
+		{String("uk"), String("emea")},
+		{String("de"), String("emea")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("orders").
+		Join("users", "uid", "id").
+		Join("countries", "country", "code").
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3000 {
+		t.Fatalf("3-way join produced %d rows, want 3000", len(res.Rows))
+	}
+	// Output layout: orders(3) + users(3) + countries(2).
+	if len(res.Rows[0]) != 8 {
+		t.Fatalf("output arity %d, want 8", len(res.Rows[0]))
+	}
+	if len(res.Stats.Strategies) != 2 {
+		t.Errorf("expected 2 join strategies: %v", res.Stats.Strategies)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := openFixture(t)
+	if _, err := db.Query("missing").Run(); err == nil {
+		t.Errorf("missing base table accepted")
+	}
+	if _, err := db.Query("users").Where("nope", EQ, Int(1)).Run(); err == nil {
+		t.Errorf("missing column accepted")
+	}
+	if _, err := db.Query("users").Join("missing", "id", "x").Run(); err == nil {
+		t.Errorf("missing join table accepted")
+	}
+	if _, err := db.Query("orders").Join("users", "nope", "id").Run(); err == nil {
+		t.Errorf("unresolvable join column accepted")
+	}
+	if _, err := db.Query("orders").Join("users", "uid", "nope").Run(); err == nil {
+		t.Errorf("missing right join column accepted")
+	}
+}
+
+func TestWhereAfterJoinBindsToJoinedTable(t *testing.T) {
+	db := openFixture(t)
+	res, err := db.Query("orders").
+		Join("users", "uid", "id").
+		Where("age", LT, Int(30)).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r[4].Int64() >= 30 { // users.age at offset 3+1
+			t.Fatalf("joined-table predicate violated: %v", r)
+		}
+	}
+}
+
+func TestStaticModeNeverRepartitions(t *testing.T) {
+	db := Open(Options{Mode: ModeStatic, RowsPerBlock: 64, Seed: 3})
+	if _, err := db.CreateTable("users", NewSchema(
+		Col("id", KindInt), Col("age", KindInt), Col("country", KindString),
+	), usersRows(500, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("orders", NewSchema(
+		Col("oid", KindInt), Col("uid", KindInt), Col("amount", KindFloat),
+	), ordersRows(1000, 500, 5)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		res, err := db.Query("orders").Join("users", "uid", "id").Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.RepartitionedRows != 0 {
+			t.Fatalf("static mode repartitioned %d rows", res.Stats.RepartitionedRows)
+		}
+	}
+	if st := db.Table("users").Stats(); st.Trees != 1 || st.JoinAttrs[0] != "" {
+		t.Errorf("static mode changed layout: %+v", st)
+	}
+}

@@ -1,0 +1,115 @@
+package adaptdb
+
+// Ablation micro-benchmarks for the hyper-join grouping algorithms: the
+// wall-clock cost of planning itself (the paper's Fig. 17(b) measures
+// the same thing for ILP vs approximate), plus solution quality.
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptdb/internal/hyperjoin"
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/value"
+)
+
+func groupingInstance(n, m int, seed int64) []hyperjoin.BitVec {
+	rng := rand.New(rand.NewSource(seed))
+	const keys = 1 << 20
+	rSpan, sSpan := keys/n, keys/m
+	rr := make([]predicate.Range, n)
+	for i := 0; i < n; i++ {
+		lo := int64(i*rSpan) - rng.Int63n(int64(rSpan/4+1))
+		hi := int64((i+1)*rSpan) + rng.Int63n(int64(rSpan/4+1))
+		rr[i] = predicate.Closed(value.NewInt(lo), value.NewInt(hi))
+	}
+	ss := make([]predicate.Range, m)
+	for j := 0; j < m; j++ {
+		lo := int64(j*sSpan) - rng.Int63n(int64(sSpan/4+1))
+		hi := int64((j+1)*sSpan) + rng.Int63n(int64(sSpan/4+1))
+		ss[j] = predicate.Closed(value.NewInt(lo), value.NewInt(hi))
+	}
+	return hyperjoin.OverlapVectors(rr, ss)
+}
+
+func benchGrouping(b *testing.B) {
+	V := groupingInstance(128, 32, 1)
+	b.Run("first-fit", func(b *testing.B) {
+		cost := 0
+		for i := 0; i < b.N; i++ {
+			cost = hyperjoin.Cost(hyperjoin.FirstFit(V, 16), V)
+		}
+		b.ReportMetric(float64(cost), "probe-blocks")
+	})
+	b.Run("bottom-up", func(b *testing.B) {
+		cost := 0
+		for i := 0; i < b.N; i++ {
+			cost = hyperjoin.Cost(hyperjoin.BottomUp(V, 16), V)
+		}
+		b.ReportMetric(float64(cost), "probe-blocks")
+	})
+	b.Run("greedy-seed", func(b *testing.B) {
+		cost := 0
+		for i := 0; i < b.N; i++ {
+			cost = hyperjoin.Cost(hyperjoin.GreedyBestSeed(V, 16), V)
+		}
+		b.ReportMetric(float64(cost), "probe-blocks")
+	})
+}
+
+// BenchmarkOverlapVectors measures the O(n·m) overlap computation that
+// precedes every hyper-join plan.
+func BenchmarkOverlapVectors(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n, m := 256, 128
+	rr := make([]predicate.Range, n)
+	ss := make([]predicate.Range, m)
+	for i := range rr {
+		lo := rng.Int63n(1 << 20)
+		rr[i] = predicate.Closed(value.NewInt(lo), value.NewInt(lo+4096))
+	}
+	for j := range ss {
+		lo := rng.Int63n(1 << 20)
+		ss[j] = predicate.Closed(value.NewInt(lo), value.NewInt(lo+8192))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hyperjoin.OverlapVectors(rr, ss)
+	}
+}
+
+// BenchmarkFacadeJoinQuery measures an end-to-end hyper-join through the
+// public API on converged tables.
+func BenchmarkFacadeJoinQuery(b *testing.B) {
+	db := Open(Options{RowsPerBlock: 256, Seed: 5})
+	rng := rand.New(rand.NewSource(5))
+	var users, orders []Row
+	for i := 0; i < 2000; i++ {
+		users = append(users, Row{Int(int64(i)), Int(rng.Int63n(80))})
+	}
+	for i := 0; i < 8000; i++ {
+		orders = append(orders, Row{Int(int64(i)), Int(rng.Int63n(2000))})
+	}
+	if _, err := db.CreateTable("users", NewSchema(Col("id", KindInt), Col("age", KindInt)), users); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.CreateTable("orders", NewSchema(Col("oid", KindInt), Col("uid", KindInt)), orders); err != nil {
+		b.Fatal(err)
+	}
+	// Converge first.
+	for i := 0; i < 12; i++ {
+		if _, err := db.Query("orders").Join("users", "uid", "id").Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query("orders").Join("users", "uid", "id").Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 8000 {
+			b.Fatalf("join rows %d", len(res.Rows))
+		}
+	}
+}

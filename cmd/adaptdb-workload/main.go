@@ -1,0 +1,59 @@
+// Command adaptdb-workload replays a changing workload against AdaptDB
+// and the §7.3/§7.6 baselines, printing per-query simulated times. It is
+// the interactive counterpart to the fig13/fig18 harnesses.
+//
+// Usage:
+//
+//	adaptdb-workload -kind switching          # 160-query TPC-H switching workload
+//	adaptdb-workload -kind shifting           # 140-query TPC-H shifting workload
+//	adaptdb-workload -kind cmt -trips 4000    # the 103-query CMT trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptdb/internal/experiments"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "switching", "workload: switching | shifting | cmt")
+		sf    = flag.Float64("sf", 0.002, "TPC-H micro scale factor")
+		trips = flag.Int("trips", 4000, "CMT trips (kind=cmt)")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.SF = *sf
+	cfg.Seed = *seed
+
+	var (
+		res *experiments.Result
+		err error
+	)
+	switch *kind {
+	case "switching":
+		res, err = experiments.Fig13a(cfg)
+	case "shifting":
+		res, err = experiments.Fig13b(cfg)
+	case "cmt":
+		res, err = experiments.Fig18(cfg, *trips)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res.Fprint(os.Stdout)
+
+	fmt.Println("totals (sim-seconds):")
+	for name, series := range res.Series {
+		total, peak := experiments.Summarize(series)
+		fmt.Printf("  %-16s total=%-10.1f peak-query=%.1f\n", name, total, peak)
+	}
+}

@@ -1,0 +1,222 @@
+package dfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"adaptdb/internal/block"
+	"adaptdb/internal/schema"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+var sch = schema.MustNew(
+	schema.Column{Name: "k", Kind: value.Int},
+)
+
+func row(k int64) tuple.Tuple { return tuple.Tuple{value.NewInt(k)} }
+
+func blockOf(ks ...int64) *block.Block {
+	b := block.New(sch)
+	for _, k := range ks {
+		b.Append(row(k))
+	}
+	return b
+}
+
+func TestPutGetBlock(t *testing.T) {
+	s := NewStore(4, 2, 1)
+	s.PutBlock("t/0/0", blockOf(1, 2, 3))
+	placement := s.Placement("t/0/0")
+	if len(placement) != 2 {
+		t.Fatalf("placement = %v, want 2 replicas", placement)
+	}
+	got, local, err := s.GetBlock("t/0/0", placement[0])
+	if err != nil {
+		t.Fatalf("GetBlock: %v", err)
+	}
+	if !local {
+		t.Errorf("read from replica node should be local")
+	}
+	if got.Len() != 3 {
+		t.Errorf("block has %d rows, want 3", got.Len())
+	}
+	// A node not hosting a replica reads remotely.
+	var other NodeID = -1
+	for n := NodeID(0); n < 4; n++ {
+		isReplica := false
+		for _, p := range placement {
+			if p == n {
+				isReplica = true
+			}
+		}
+		if !isReplica {
+			other = n
+			break
+		}
+	}
+	if other == -1 {
+		t.Fatal("no non-replica node found")
+	}
+	if _, local, _ := s.GetBlock("t/0/0", other); local {
+		t.Errorf("read from non-replica node should be remote")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewStore(2, 1, 1)
+	if _, _, err := s.GetBlock("nope", 0); err == nil {
+		t.Errorf("missing block read should error")
+	}
+	if _, err := s.GetBytes("nope"); err == nil {
+		t.Errorf("missing metadata read should error")
+	}
+}
+
+func TestReplicationClamped(t *testing.T) {
+	s := NewStore(2, 5, 1)
+	if s.Replication() != 2 {
+		t.Errorf("replication = %d, want clamped to 2", s.Replication())
+	}
+	s = NewStore(0, 0, 1)
+	if s.NumNodes() != 1 || s.Replication() != 1 {
+		t.Errorf("degenerate store: nodes=%d repl=%d", s.NumNodes(), s.Replication())
+	}
+}
+
+func TestPlacementDeterministicAndSpread(t *testing.T) {
+	a := NewStore(10, 3, 7)
+	b := NewStore(10, 3, 7)
+	used := make(map[NodeID]int)
+	for i := 0; i < 200; i++ {
+		p := fmt.Sprintf("tbl/0/%d", i)
+		a.PutBlock(p, blockOf(int64(i)))
+		b.PutBlock(p, blockOf(int64(i)))
+		pa, pb := a.Placement(p), b.Placement(p)
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("placement not deterministic for %s", p)
+			}
+		}
+		used[pa[0]]++
+	}
+	// All 10 nodes should host some primaries.
+	if len(used) < 8 {
+		t.Errorf("placement poorly spread: %v", used)
+	}
+}
+
+func TestAppendCreatesAndAccumulates(t *testing.T) {
+	s := NewStore(3, 1, 1)
+	s.Append("t/1/5", sch, []tuple.Tuple{row(1), row(2)})
+	s.Append("t/1/5", sch, []tuple.Tuple{row(3)})
+	got, _, err := s.GetBlock("t/1/5", 0)
+	if err != nil {
+		t.Fatalf("GetBlock after append: %v", err)
+	}
+	if got.Len() != 3 {
+		t.Errorf("appended block has %d rows, want 3", got.Len())
+	}
+	if got.Max(0).Int64() != 3 {
+		t.Errorf("zone map not maintained on append")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	// Several "repartitioners" appending to the same file must not lose
+	// rows — the ZooKeeper-coordination substitute.
+	s := NewStore(4, 2, 1)
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Append("shared", sch, []tuple.Tuple{row(int64(w*perWriter + i))})
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, _, err := s.GetBlock("shared", 0)
+	if err != nil {
+		t.Fatalf("GetBlock: %v", err)
+	}
+	if got.Len() != writers*perWriter {
+		t.Errorf("lost appends: %d rows, want %d", got.Len(), writers*perWriter)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	s := NewStore(2, 1, 1)
+	s.PutBytes("meta/tree0", []byte{1, 2, 3})
+	got, err := s.GetBytes("meta/tree0")
+	if err != nil {
+		t.Fatalf("GetBytes: %v", err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Errorf("bytes mangled: %v", got)
+	}
+	// Returned slice must be a copy.
+	got[0] = 99
+	again, _ := s.GetBytes("meta/tree0")
+	if again[0] != 1 {
+		t.Errorf("GetBytes exposed internal buffer")
+	}
+}
+
+func TestDeleteAndExists(t *testing.T) {
+	s := NewStore(2, 1, 1)
+	s.PutBlock("x", blockOf(1))
+	if !s.Exists("x") {
+		t.Errorf("Exists(x) false after put")
+	}
+	s.Delete("x")
+	if s.Exists("x") {
+		t.Errorf("Exists(x) true after delete")
+	}
+	s.Delete("x") // no-op
+}
+
+func TestList(t *testing.T) {
+	s := NewStore(2, 1, 1)
+	s.PutBlock("t1/0/2", blockOf(1))
+	s.PutBlock("t1/0/1", blockOf(1))
+	s.PutBlock("t2/0/0", blockOf(1))
+	got := s.List("t1/")
+	if len(got) != 2 || got[0] != "t1/0/1" || got[1] != "t1/0/2" {
+		t.Errorf("List(t1/) = %v", got)
+	}
+	if n := len(s.List("")); n != 3 {
+		t.Errorf("List(\"\") = %d files, want 3", n)
+	}
+}
+
+func TestSetPlacement(t *testing.T) {
+	s := NewStore(4, 1, 1)
+	s.PutBlock("x", blockOf(1))
+	if err := s.SetPlacement("x", []NodeID{3}); err != nil {
+		t.Fatalf("SetPlacement: %v", err)
+	}
+	if _, local, _ := s.GetBlock("x", 3); !local {
+		t.Errorf("read should be local after SetPlacement")
+	}
+	if _, local, _ := s.GetBlock("x", 0); local {
+		t.Errorf("read from node 0 should be remote")
+	}
+	if err := s.SetPlacement("missing", []NodeID{0}); err == nil {
+		t.Errorf("SetPlacement on missing file should error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStore(2, 1, 1)
+	s.PutBlock("a", blockOf(1, 2))
+	s.PutBlock("b", blockOf(3))
+	s.PutBytes("m", []byte{0})
+	st := s.Stats()
+	if st.Files != 3 || st.Blocks != 2 || st.Tuples != 3 {
+		t.Errorf("Stats = %+v", st)
+	}
+}

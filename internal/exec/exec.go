@@ -1,0 +1,418 @@
+// Package exec is the query executor (§6): it runs scan tasks,
+// repartitioning iterators, shuffle joins and hyper-joins over the
+// blocks of AdaptDB tables, metering every block read and shuffled row
+// through the cluster cost model. It plays the role Spark plays for the
+// paper's prototype — a dumb, parallel data plane under a smart storage
+// manager.
+package exec
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"adaptdb/internal/block"
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/core"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/hyperjoin"
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+// Executor runs query operators against one store/meter pair.
+type Executor struct {
+	Store *dfs.Store
+	Meter *cluster.Meter
+	// Workers bounds task parallelism; 0 means one worker per node.
+	Workers int
+	// RoundRobin assigns scan tasks to nodes by block index instead of
+	// replica locality — the Fig. 7 experiment uses it to control the
+	// local-read fraction precisely.
+	RoundRobin bool
+	// NoPrune disables tree and zone-map pruning: scans read every live
+	// block and filter row by row. The "Full Scan" baseline of §7.3 runs
+	// this way.
+	NoPrune bool
+}
+
+// New builds an executor.
+func New(store *dfs.Store, meter *cluster.Meter) *Executor {
+	return &Executor{Store: store, Meter: meter}
+}
+
+func (e *Executor) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	n := e.Store.NumNodes()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runTasks executes the closures on a bounded worker pool.
+func (e *Executor) runTasks(tasks []func()) {
+	w := e.workers()
+	if w > len(tasks) {
+		w = len(tasks)
+	}
+	if w <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	ch := make(chan func())
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// taskNode picks the execution node for a block's task: its primary
+// replica, mirroring Spark/HDFS locality scheduling (scans are ~100%
+// local, Fig. 7's normal case).
+func (e *Executor) taskNode(path string) dfs.NodeID {
+	if p := e.Store.Placement(path); len(p) > 0 {
+		return p[0]
+	}
+	return 0
+}
+
+// ScanRefs reads the given blocks in parallel, filters by the predicate
+// conjunction, and returns matching rows. Block reads are metered as
+// scans.
+func (e *Executor) ScanRefs(refs []core.BlockRef, preds []predicate.Predicate) []tuple.Tuple {
+	var mu sync.Mutex
+	var out []tuple.Tuple
+	tasks := make([]func(), len(refs))
+	for i := range refs {
+		ref := refs[i]
+		idx := i
+		tasks[i] = func() {
+			node := e.taskNode(ref.Path)
+			if e.RoundRobin {
+				n := e.Store.NumNodes()
+				if n < 1 {
+					n = 1
+				}
+				node = dfs.NodeID(idx % n)
+			}
+			blk, local, err := e.Store.GetBlock(ref.Path, node)
+			if err != nil {
+				return // vanished (concurrent repartition): rows moved elsewhere
+			}
+			e.Meter.AddScan(blk.Len(), local)
+			var rows []tuple.Tuple
+			for _, r := range blk.Tuples {
+				if predicate.MatchesAll(preds, r) {
+					rows = append(rows, r)
+				}
+			}
+			mu.Lock()
+			out = append(out, rows...)
+			mu.Unlock()
+		}
+	}
+	e.runTasks(tasks)
+	return out
+}
+
+// Scan reads every live tree of a table with predicate and zone-map
+// pruning: the paper's predicate-based data access. With NoPrune set it
+// reads everything and filters row by row.
+func (e *Executor) Scan(tbl *core.Table, preds []predicate.Predicate) []tuple.Tuple {
+	if e.NoPrune {
+		return e.ScanRefs(tbl.AllRefs(nil), preds)
+	}
+	return e.ScanRefs(tbl.AllRefs(preds), preds)
+}
+
+// HashJoinRows joins two in-memory row sets with a hash join on integer-
+// comparable key columns, concatenating matching pairs. No metering —
+// callers meter the I/O that produced the inputs.
+func HashJoinRows(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	// Build on the smaller side.
+	swapped := false
+	build, probe := left, right
+	bCol, pCol := lCol, rCol
+	if len(right) < len(left) {
+		build, probe = right, left
+		bCol, pCol = rCol, lCol
+		swapped = true
+	}
+	ht := make(map[string][]tuple.Tuple, len(build))
+	var keyBuf []byte
+	keyOf := func(t tuple.Tuple, col int) string {
+		keyBuf = t[col].AppendBinary(keyBuf[:0])
+		return string(keyBuf)
+	}
+	for _, b := range build {
+		k := keyOf(b, bCol)
+		ht[k] = append(ht[k], b)
+	}
+	var out []tuple.Tuple
+	for _, p := range probe {
+		for _, b := range ht[keyOf(p, pCol)] {
+			if swapped {
+				out = append(out, tuple.Concat(p, b))
+			} else {
+				out = append(out, tuple.Concat(b, p))
+			}
+		}
+	}
+	return out
+}
+
+// ShuffleJoinRows joins two materialized row sets, charging the CSJ
+// shuffle factor on every input row (eq. 1: each record is read,
+// partitioned and written, and read again).
+func (e *Executor) ShuffleJoinRows(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
+	e.Meter.AddShuffle(len(left))
+	e.Meter.AddShuffle(len(right))
+	out := HashJoinRows(left, right, lCol, rCol)
+	e.Meter.AddResultRows(len(out))
+	return out
+}
+
+// ShuffleJoinIntermediates joins two materialized intermediate row sets,
+// charging the cheaper pipelined-shuffle factor per row (§4.3's shuffle
+// of two hyper-join outputs).
+func (e *Executor) ShuffleJoinIntermediates(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
+	e.Meter.AddIntermediateShuffle(len(left))
+	e.Meter.AddIntermediateShuffle(len(right))
+	out := HashJoinRows(left, right, lCol, rCol)
+	e.Meter.AddResultRows(len(out))
+	return out
+}
+
+// ShuffleJoinTables scans both tables (with predicate pushdown) and
+// shuffle-joins the results — the baseline join strategy.
+func (e *Executor) ShuffleJoinTables(left *core.Table, lPreds []predicate.Predicate, lCol int,
+	right *core.Table, rPreds []predicate.Predicate, rCol int) []tuple.Tuple {
+	l := e.Scan(left, lPreds)
+	r := e.Scan(right, rPreds)
+	return e.ShuffleJoinRows(l, r, lCol, rCol)
+}
+
+// HyperPlan is the block-read schedule of a prospective hyper-join: the
+// grouping of build-side blocks plus the probe-side reads (with
+// multiplicity) it implies. The optimizer prices plans with it before
+// choosing a join strategy (§5.4).
+type HyperPlan struct {
+	V        []hyperjoin.BitVec
+	Grouping hyperjoin.Grouping
+	// ProbeIdx lists probe-side ref indexes read across all groups, with
+	// multiplicity.
+	ProbeIdx []int
+}
+
+// PlanHyper computes overlap vectors from the refs' zone maps and groups
+// the build side with the bottom-up heuristic.
+func PlanHyper(rRefs []core.BlockRef, rCol int, sRefs []core.BlockRef, sCol int, budget int) HyperPlan {
+	rRanges := make([]predicate.Range, len(rRefs))
+	for i, r := range rRefs {
+		rRanges[i] = r.JoinRange(rCol)
+	}
+	sRanges := make([]predicate.Range, len(sRefs))
+	for j, s := range sRefs {
+		sRanges[j] = s.JoinRange(sCol)
+	}
+	V := hyperjoin.OverlapVectors(rRanges, sRanges)
+	grouping := hyperjoin.BottomUp(V, budget)
+	var probeIdx []int
+	for _, g := range grouping {
+		for _, j := range hyperjoin.Union(V, g).Ones() {
+			if j < len(sRefs) {
+				probeIdx = append(probeIdx, j)
+			}
+		}
+	}
+	return HyperPlan{V: V, Grouping: grouping, ProbeIdx: probeIdx}
+}
+
+// HyperStats reports what a hyper-join did.
+type HyperStats struct {
+	Groups       int
+	BuildBlocks  int
+	ProbeBlocks  int // with multiplicity
+	SBlocks      int // distinct S blocks needed
+	CHyJ         float64
+	GroupingCost int
+}
+
+// HyperJoin executes the §4.1 algorithm: group the build side's blocks
+// with the bottom-up heuristic under memory budget B blocks, then for
+// each group build a hash table over the group's R blocks and probe it
+// with every overlapping S block. Block reads are metered as build/probe
+// reads; probe multiplicity yields the effective CHyJ of eq. 2.
+func (e *Executor) HyperJoin(rRefs []core.BlockRef, rPreds []predicate.Predicate, rCol int,
+	sRefs []core.BlockRef, sPreds []predicate.Predicate, sCol int, budget int) ([]tuple.Tuple, HyperStats) {
+	if len(rRefs) == 0 || len(sRefs) == 0 {
+		return nil, HyperStats{}
+	}
+	plan := PlanHyper(rRefs, rCol, sRefs, sCol, budget)
+	V, grouping := plan.V, plan.Grouping
+	stats := HyperStats{
+		Groups:       len(grouping),
+		SBlocks:      len(sRefs),
+		GroupingCost: hyperjoin.Cost(grouping, V),
+	}
+
+	var mu sync.Mutex
+	var out []tuple.Tuple
+	tasks := make([]func(), len(grouping))
+	for gi := range grouping {
+		group := grouping[gi]
+		tasks[gi] = func() {
+			// The group's task runs where its first R block lives.
+			node := e.taskNode(rRefs[group[0]].Path)
+			// Build phase.
+			var build []tuple.Tuple
+			for _, i := range group {
+				blk, local, err := e.Store.GetBlock(rRefs[i].Path, node)
+				if err != nil {
+					continue
+				}
+				e.Meter.AddBuild(blk.Len(), local)
+				for _, r := range blk.Tuples {
+					if predicate.MatchesAll(rPreds, r) {
+						build = append(build, r)
+					}
+				}
+			}
+			ht := make(map[int64][]tuple.Tuple, len(build))
+			for _, r := range build {
+				ht[hashKey(r[rCol])] = append(ht[hashKey(r[rCol])], r)
+			}
+			// Probe phase: only overlapping S blocks.
+			union := hyperjoin.Union(V, group)
+			var rows []tuple.Tuple
+			probed := 0
+			for _, j := range union.Ones() {
+				if j >= len(sRefs) {
+					break
+				}
+				blk, local, err := e.Store.GetBlock(sRefs[j].Path, node)
+				if err != nil {
+					continue
+				}
+				e.Meter.AddProbe(blk.Len(), local)
+				probed++
+				for _, s := range blk.Tuples {
+					if !predicate.MatchesAll(sPreds, s) {
+						continue
+					}
+					for _, r := range ht[hashKey(s[sCol])] {
+						if tupleKeyEqual(r[rCol], s[sCol]) {
+							rows = append(rows, tuple.Concat(r, s))
+						}
+					}
+				}
+			}
+			mu.Lock()
+			out = append(out, rows...)
+			stats.BuildBlocks += len(group)
+			stats.ProbeBlocks += probed
+			mu.Unlock()
+		}
+	}
+	e.runTasks(tasks)
+	if stats.SBlocks > 0 {
+		stats.CHyJ = float64(stats.ProbeBlocks) / float64(stats.SBlocks)
+	}
+	e.Meter.AddResultRows(len(out))
+	return out, stats
+}
+
+// hashKey folds a value into an int64 hash bucket key. Collisions are
+// resolved by tupleKeyEqual at probe time.
+func hashKey(v value.Value) int64 {
+	switch v.K {
+	case value.Int, value.Date, value.Bool:
+		return v.I
+	case value.Float:
+		return int64(math.Float64bits(v.F))
+	case value.String:
+		var h uint64 = 14695981039346656037
+		for i := 0; i < len(v.S); i++ {
+			h ^= uint64(v.S[i])
+			h *= 1099511628211
+		}
+		return int64(h)
+	default:
+		return 0
+	}
+}
+
+func tupleKeyEqual(a, b value.Value) bool { return value.Equal(a, b) }
+
+// NestedLoopJoin is the single-node oracle used by integration tests to
+// cross-check join strategies: no pruning, no metering, O(n·m).
+func NestedLoopJoin(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, l := range left {
+		for _, r := range right {
+			if tupleKeyEqual(l[lCol], r[rCol]) {
+				out = append(out, tuple.Concat(l, r))
+			}
+		}
+	}
+	return out
+}
+
+// SortRows orders rows lexicographically by their binary encoding; tests
+// use it to compare result multisets across strategies.
+func SortRows(rows []tuple.Tuple) {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = string(r.AppendBinary(nil))
+	}
+	sort.Sort(&rowSorter{rows: rows, keys: keys})
+}
+
+type rowSorter struct {
+	rows []tuple.Tuple
+	keys []string
+}
+
+func (s *rowSorter) Len() int           { return len(s.rows) }
+func (s *rowSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// BlocksOf is a test/experiment helper returning the physical blocks of
+// one tree, keyed by bucket.
+func BlocksOf(t *core.Table, treeIdx int) map[block.ID]*block.Block {
+	out := make(map[block.ID]*block.Block)
+	ti := t.Trees[treeIdx]
+	if ti == nil {
+		return out
+	}
+	for _, b := range ti.LiveBuckets() {
+		blk, _, err := t.Store().GetBlock(t.BlockPath(treeIdx, b), 0)
+		if err == nil {
+			out[b] = blk
+		}
+	}
+	return out
+}

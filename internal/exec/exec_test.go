@@ -1,0 +1,332 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/core"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/schema"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+var (
+	lineSch = schema.MustNew(
+		schema.Column{Name: "orderkey", Kind: value.Int},
+		schema.Column{Name: "partkey", Kind: value.Int},
+		schema.Column{Name: "shipdate", Kind: value.Int},
+	)
+	orderSch = schema.MustNew(
+		schema.Column{Name: "orderkey", Kind: value.Int},
+		schema.Column{Name: "custkey", Kind: value.Int},
+		schema.Column{Name: "orderdate", Kind: value.Int},
+	)
+)
+
+func genLineitem(n int, seed int64) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]tuple.Tuple, n)
+	for i := range rows {
+		rows[i] = tuple.Tuple{
+			value.NewInt(rng.Int63n(500)), // orderkey: dense so joins hit
+			value.NewInt(rng.Int63n(100)),
+			value.NewInt(rng.Int63n(2500)),
+		}
+	}
+	return rows
+}
+
+func genOrders(n int, seed int64) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]tuple.Tuple, n)
+	for i := range rows {
+		rows[i] = tuple.Tuple{
+			value.NewInt(int64(i) % 500), // every orderkey appears
+			value.NewInt(rng.Int63n(50)),
+			value.NewInt(rng.Int63n(2500)),
+		}
+	}
+	return rows
+}
+
+type fixture struct {
+	store *dfs.Store
+	meter *cluster.Meter
+	ex    *Executor
+	line  *core.Table
+	ord   *core.Table
+	lrows []tuple.Tuple
+	orows []tuple.Tuple
+}
+
+// newFixture loads lineitem and orders co-partitioned on orderkey.
+func newFixture(t *testing.T, coPartitioned bool) *fixture {
+	t.Helper()
+	store := dfs.NewStore(4, 2, 7)
+	meter := &cluster.Meter{}
+	lrows := genLineitem(3000, 1)
+	orows := genOrders(1000, 2)
+	joinAttr := 0
+	if !coPartitioned {
+		joinAttr = -1
+	}
+	line, err := core.Load(store, "lineitem", lineSch, lrows, core.LoadOptions{
+		RowsPerBlock: 200, Seed: 3, JoinAttr: joinAttr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := core.Load(store, "orders", orderSch, orows, core.LoadOptions{
+		RowsPerBlock: 100, Seed: 4, JoinAttr: joinAttr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{store: store, meter: meter, ex: New(store, meter), line: line, ord: ord, lrows: lrows, orows: orows}
+}
+
+func TestScanMatchesNaiveFilter(t *testing.T) {
+	f := newFixture(t, true)
+	preds := []predicate.Predicate{predicate.NewCmp(2, predicate.LT, value.NewInt(1000))}
+	got := f.ex.Scan(f.line, preds)
+	want := 0
+	for _, r := range f.lrows {
+		if r[2].Int64() < 1000 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("scan returned %d rows, want %d", len(got), want)
+	}
+	for _, r := range got {
+		if r[2].Int64() >= 1000 {
+			t.Fatalf("scan returned non-matching row %v", r)
+		}
+	}
+}
+
+func TestScanPrunesBlocks(t *testing.T) {
+	f := newFixture(t, false)
+	f.ex.Scan(f.line, nil)
+	full := f.meter.Reset()
+	f.ex.Scan(f.line, []predicate.Predicate{predicate.NewCmp(2, predicate.LT, value.NewInt(100))})
+	narrow := f.meter.Reset()
+	if narrow.BlocksScanned >= full.BlocksScanned {
+		t.Errorf("selective scan read %d blocks, full scan %d — no pruning",
+			narrow.BlocksScanned, full.BlocksScanned)
+	}
+}
+
+func TestHashJoinRowsMatchesOracle(t *testing.T) {
+	l := genLineitem(300, 5)
+	r := genOrders(200, 6)
+	got := HashJoinRows(l, r, 0, 0)
+	want := NestedLoopJoin(l, r, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("hash join %d rows, oracle %d", len(got), len(want))
+	}
+	SortRows(got)
+	SortRows(want)
+	for i := range got {
+		for c := range got[i] {
+			if value.Compare(got[i][c], want[i][c]) != 0 {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+	if HashJoinRows(nil, r, 0, 0) != nil || HashJoinRows(l, nil, 0, 0) != nil {
+		t.Errorf("empty side should produce nil")
+	}
+}
+
+func TestShuffleJoinTablesCorrect(t *testing.T) {
+	f := newFixture(t, true)
+	preds := []predicate.Predicate{predicate.NewCmp(2, predicate.LT, value.NewInt(1500))}
+	got := f.ex.ShuffleJoinTables(f.line, preds, 0, f.ord, nil, 0)
+	var lf []tuple.Tuple
+	for _, r := range f.lrows {
+		if r[2].Int64() < 1500 {
+			lf = append(lf, r)
+		}
+	}
+	want := NestedLoopJoin(lf, f.orows, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("shuffle join %d rows, oracle %d", len(got), len(want))
+	}
+	c := f.meter.Snapshot()
+	if c.ShuffleRows == 0 {
+		t.Errorf("shuffle join did not meter shuffled rows")
+	}
+	if c.ResultRows != len(got) {
+		t.Errorf("result rows metered %d, want %d", c.ResultRows, len(got))
+	}
+}
+
+func TestHyperJoinMatchesShuffleJoin(t *testing.T) {
+	f := newFixture(t, true)
+	preds := []predicate.Predicate{predicate.NewCmp(2, predicate.LT, value.NewInt(2000))}
+	rRefs := f.line.Refs(0, preds)
+	sRefs := f.ord.Refs(0, nil)
+	hyperRows, stats := f.ex.HyperJoin(rRefs, preds, 0, sRefs, nil, 0, 4)
+	var lf []tuple.Tuple
+	for _, r := range f.lrows {
+		if r[2].Int64() < 2000 {
+			lf = append(lf, r)
+		}
+	}
+	want := NestedLoopJoin(lf, f.orows, 0, 0)
+	if len(hyperRows) != len(want) {
+		t.Fatalf("hyper join %d rows, oracle %d", len(hyperRows), len(want))
+	}
+	SortRows(hyperRows)
+	SortRows(want)
+	for i := range want {
+		for c := range want[i] {
+			if value.Compare(hyperRows[i][c], want[i][c]) != 0 {
+				t.Fatalf("row %d differs from oracle", i)
+			}
+		}
+	}
+	if stats.CHyJ < 1.0 {
+		t.Errorf("CHyJ = %v < 1 is impossible when all S blocks overlap", stats.CHyJ)
+	}
+	if stats.Groups == 0 || stats.BuildBlocks != len(rRefs) {
+		t.Errorf("stats wrong: %+v", stats)
+	}
+	if stats.ProbeBlocks != stats.GroupingCost {
+		t.Errorf("executed probes %d != planned grouping cost %d", stats.ProbeBlocks, stats.GroupingCost)
+	}
+}
+
+func TestHyperJoinCoPartitionedCHyJNearOne(t *testing.T) {
+	// Co-partitioned two-phase trees: each lineitem block overlaps few
+	// orders blocks, so CHyJ should be near 1 with a decent budget (§4.2).
+	f := newFixture(t, true)
+	rRefs := f.line.Refs(0, nil)
+	sRefs := f.ord.Refs(0, nil)
+	_, stats := f.ex.HyperJoin(rRefs, nil, 0, sRefs, nil, 0, 8)
+	if stats.CHyJ > 2.5 {
+		t.Errorf("co-partitioned CHyJ = %.2f, want ≲ 2 (paper reports ≈2 on real workloads)", stats.CHyJ)
+	}
+}
+
+func TestHyperJoinCheaperThanShuffleWhenCoPartitioned(t *testing.T) {
+	f := newFixture(t, true)
+	model := cluster.Default()
+
+	rRefs := f.line.Refs(0, nil)
+	sRefs := f.ord.Refs(0, nil)
+	f.ex.HyperJoin(rRefs, nil, 0, sRefs, nil, 0, 8)
+	hyper := f.meter.Reset()
+
+	f.ex.ShuffleJoinTables(f.line, nil, 0, f.ord, nil, 0)
+	shuffle := f.meter.Reset()
+
+	if hyper.CostUnits(model) >= shuffle.CostUnits(model) {
+		t.Errorf("hyper-join units %.0f should beat shuffle %.0f on co-partitioned tables",
+			hyper.CostUnits(model), shuffle.CostUnits(model))
+	}
+}
+
+func TestHyperJoinEmptySides(t *testing.T) {
+	f := newFixture(t, true)
+	rows, stats := f.ex.HyperJoin(nil, nil, 0, f.ord.Refs(0, nil), nil, 0, 4)
+	if rows != nil || stats.Groups != 0 {
+		t.Errorf("empty build side should produce nothing")
+	}
+	rows, _ = f.ex.HyperJoin(f.line.Refs(0, nil), nil, 0, nil, nil, 0, 4)
+	if rows != nil {
+		t.Errorf("empty probe side should produce nothing")
+	}
+}
+
+func TestHyperJoinWithPredicatesBothSides(t *testing.T) {
+	f := newFixture(t, true)
+	lPred := []predicate.Predicate{predicate.NewCmp(2, predicate.GE, value.NewInt(500))}
+	oPred := []predicate.Predicate{predicate.NewCmp(2, predicate.LT, value.NewInt(2000))}
+	got, _ := f.ex.HyperJoin(f.line.Refs(0, lPred), lPred, 0, f.ord.Refs(0, oPred), oPred, 0, 4)
+	var lf, of []tuple.Tuple
+	for _, r := range f.lrows {
+		if r[2].Int64() >= 500 {
+			lf = append(lf, r)
+		}
+	}
+	for _, r := range f.orows {
+		if r[2].Int64() < 2000 {
+			of = append(of, r)
+		}
+	}
+	want := NestedLoopJoin(lf, of, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("hyper join with preds: %d rows, oracle %d", len(got), len(want))
+	}
+}
+
+func TestShuffleJoinRowsMeters(t *testing.T) {
+	f := newFixture(t, true)
+	l := genLineitem(100, 9)
+	r := genOrders(50, 10)
+	f.ex.ShuffleJoinRows(l, r, 0, 0)
+	c := f.meter.Snapshot()
+	if c.ShuffleRows != 150 {
+		t.Errorf("ShuffleRows = %v, want 150", c.ShuffleRows)
+	}
+}
+
+func TestNonCoPartitionedHyperStillCorrect(t *testing.T) {
+	// Even when trees are selection-only (blocks overlap heavily on the
+	// join attribute), hyper-join must stay correct — just with high CHyJ.
+	f := newFixture(t, false)
+	rRefs := f.line.Refs(0, nil)
+	sRefs := f.ord.Refs(0, nil)
+	got, stats := f.ex.HyperJoin(rRefs, nil, 0, sRefs, nil, 0, 4)
+	want := NestedLoopJoin(f.lrows, f.orows, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("hyper join on random partitioning: %d rows, oracle %d", len(got), len(want))
+	}
+	if stats.CHyJ < 1 {
+		t.Errorf("CHyJ < 1")
+	}
+}
+
+func TestBlocksOf(t *testing.T) {
+	f := newFixture(t, true)
+	blocks := BlocksOf(f.line, 0)
+	total := 0
+	for _, b := range blocks {
+		total += b.Len()
+	}
+	if total != len(f.lrows) {
+		t.Errorf("BlocksOf covers %d rows, want %d", total, len(f.lrows))
+	}
+}
+
+func TestSortRowsDeterministic(t *testing.T) {
+	rows := genLineitem(50, 11)
+	a := make([]tuple.Tuple, len(rows))
+	copy(a, rows)
+	rand.New(rand.NewSource(1)).Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+	SortRows(a)
+	b := make([]tuple.Tuple, len(rows))
+	copy(b, rows)
+	SortRows(b)
+	for i := range a {
+		for c := range a[i] {
+			if value.Compare(a[i][c], b[i][c]) != 0 {
+				t.Fatalf("SortRows not canonical")
+			}
+		}
+	}
+}
+
+func TestExecutorWorkersOverride(t *testing.T) {
+	f := newFixture(t, true)
+	f.ex.Workers = 1
+	rows := f.ex.Scan(f.line, nil)
+	if len(rows) != len(f.lrows) {
+		t.Errorf("single-worker scan lost rows")
+	}
+}

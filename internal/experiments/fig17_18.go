@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/cmt"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/exec"
+	"adaptdb/internal/hyperjoin"
+	"adaptdb/internal/ilp"
+	"adaptdb/internal/optimizer"
+	"adaptdb/internal/planner"
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/value"
+)
+
+// Fig17Options sizes the ILP-vs-approximate comparison. The paper uses
+// TPC-H SF 10 with 128 lineitem and 32 orders blocks, sweeping the
+// buffer over {16, 32, 64, 128}; GLPK needed ~20 minutes at 32 and did
+// not finish 96 hours at 16. Our exact branch-and-bound gets a step
+// budget instead of a wall-clock budget so runs stay reproducible.
+type Fig17Options struct {
+	NBlocks    int   // lineitem blocks (paper: 128)
+	MBlocks    int   // orders blocks (paper: 32)
+	MaxSteps   int64 // exact-search step cap per buffer size
+	Buffers    []int
+	IncludeMIP bool // additionally validate the §4.1.2 MIP at small scale
+}
+
+// DefaultFig17Options mirrors the paper's instance sizes.
+func DefaultFig17Options() Fig17Options {
+	return Fig17Options{
+		NBlocks:  128,
+		MBlocks:  32,
+		MaxSteps: 2_000_000,
+		Buffers:  []int{16, 32, 64, 128},
+	}
+}
+
+// fig17Overlaps builds the overlap structure of two-phase-partitioned
+// lineitem/orders blocks: each of n build blocks covers a contiguous
+// key interval that overlaps a handful of the m probe blocks, with
+// jittered boundaries as real median cuts produce.
+func fig17Overlaps(n, m int, seed int64) []hyperjoin.BitVec {
+	rng := rand.New(rand.NewSource(seed))
+	const keys = 1 << 20
+	rSpan := keys / n
+	sSpan := keys / m
+	rRanges := make([]predicate.Range, n)
+	for i := 0; i < n; i++ {
+		lo := int64(i*rSpan) - rng.Int63n(int64(rSpan/4+1))
+		hi := int64((i+1)*rSpan) + rng.Int63n(int64(rSpan/4+1))
+		rRanges[i] = predicate.Closed(value.NewInt(lo), value.NewInt(hi))
+	}
+	sRanges := make([]predicate.Range, m)
+	for j := 0; j < m; j++ {
+		lo := int64(j*sSpan) - rng.Int63n(int64(sSpan/4+1))
+		hi := int64((j+1)*sSpan) + rng.Int63n(int64(sSpan/4+1))
+		sRanges[j] = predicate.Closed(value.NewInt(lo), value.NewInt(hi))
+	}
+	return hyperjoin.OverlapVectors(rRanges, sRanges)
+}
+
+// Fig17 reproduces Figure 17: solution quality (orders blocks read) and
+// optimizer runtime for the exact ILP-style optimizer versus the
+// approximate bottom-up algorithm, sweeping the buffer size.
+func Fig17(cfg Config, opt Fig17Options) (*Result, error) {
+	if opt.NBlocks == 0 {
+		opt = DefaultFig17Options()
+	}
+	V := fig17Overlaps(opt.NBlocks, opt.MBlocks, cfg.Seed)
+	res := &Result{
+		Name:   "fig17",
+		Title:  fmt.Sprintf("ILP vs approximate grouping (%d lineitem / %d orders blocks)", opt.NBlocks, opt.MBlocks),
+		Header: []string{"buffer", "ILP-blocks", "Approx-blocks", "ILP-ms", "Approx-ms", "ILP-optimal"},
+		Notes:  "paper: approximate is near-optimal and runs in ~1ms; exact needs minutes-to-days and times out at the smallest buffer",
+	}
+	for _, B := range opt.Buffers {
+		t0 := time.Now()
+		exact := hyperjoin.Exact(V, B, hyperjoin.ExactOptions{MaxSteps: opt.MaxSteps})
+		exactMS := float64(time.Since(t0).Microseconds()) / 1000
+
+		t0 = time.Now()
+		approx := hyperjoin.BottomUp(V, B)
+		approxMS := float64(time.Since(t0).Microseconds()) / 1000
+		approxCost := hyperjoin.Cost(approx, V)
+
+		optimal := "yes"
+		if !exact.Optimal {
+			optimal = "TIMEOUT"
+		}
+		res.AddRow(fi(B), fi(exact.Cost), fi(approxCost), f2(exactMS), f2(approxMS), optimal)
+		res.AddSeries("ilp", float64(exact.Cost))
+		res.AddSeries("approx", float64(approxCost))
+		res.AddSeries("ilp_ms", exactMS)
+		res.AddSeries("approx_ms", approxMS)
+	}
+	if opt.IncludeMIP {
+		// Validate the literal §4.1.2 MIP formulation with the LP-based
+		// branch-and-bound at reduced scale.
+		smallV := fig17Overlaps(16, 8, cfg.Seed+1)
+		mip := hyperjoin.SolveMIP(smallV, 4, ilp.Options{MaxNodes: 50000})
+		exact := hyperjoin.Exact(smallV, 4, hyperjoin.ExactOptions{})
+		res.Notes += fmt.Sprintf("\nMIP cross-check (16/8 blocks, B=4): MIP=%d exact=%d optimal=%v",
+			mip.Cost, exact.Cost, mip.Optimal)
+		res.AddSeries("mip_small", float64(mip.Cost))
+		res.AddSeries("exact_small", float64(exact.Cost))
+	}
+	return res, nil
+}
+
+// Fig18 reproduces Figure 18: the 103-query CMT trace under Full Scan,
+// full Repartitioning, hand-tuned "Best Guess" fixed partitioning, and
+// AdaptDB. The paper reports AdaptDB finishing the trace in less than
+// half the Full Scan time, adapting within the first ~10 queries, with
+// the Repartitioning baseline paying one huge spike at query 5 and the
+// 30–50 batch spiking for everyone.
+func Fig18(cfg Config, numTrips int) (*Result, error) {
+	model := cfg.model()
+	if numTrips <= 0 {
+		numTrips = 4000
+	}
+	d := cmt.Generate(numTrips, cfg.Seed)
+	trace := cmt.Trace(d, cfg.Seed+1)
+
+	type sys struct {
+		name      string
+		mode      optimizer.Mode
+		bestGuess bool
+		noPrune   bool
+		shuffle   bool
+	}
+	systems := []sys{
+		{name: "FullScan", mode: optimizer.ModeStatic, noPrune: true, shuffle: true},
+		{name: "Repartitioning", mode: optimizer.ModeFullRepartition},
+		{name: "BestGuess", mode: optimizer.ModeStatic, bestGuess: true},
+		{name: "AdaptDB", mode: optimizer.ModeAdaptive},
+	}
+	series := make(map[string][]float64)
+	for _, s := range systems {
+		store := dfs.NewStore(model.Nodes, 2, cfg.Seed)
+		lcfg := cmt.LoadConfig{RowsPerBlock: cfg.RowsPerBlock, Seed: cfg.Seed}
+		if s.bestGuess {
+			lcfg.JoinAttrs, lcfg.Attrs = cmt.BestGuessAttrs()
+		}
+		tb, err := cmt.LoadAll(store, d, lcfg)
+		if err != nil {
+			return nil, err
+		}
+		opt := optimizer.New(optimizer.Config{Mode: s.mode, WindowSize: 10, Seed: cfg.Seed})
+		meter := &cluster.Meter{}
+		ex := exec.New(store, meter)
+		ex.NoPrune = s.noPrune
+		runner := planner.NewRunner(ex, model)
+		runner.BudgetBlocks = cfg.Budget
+		runner.ForceShuffle = s.shuffle
+		for i := range trace {
+			q := trace[i]
+			if _, err := opt.OnQuery(q.Uses(tb), meter); err != nil {
+				return nil, err
+			}
+			if _, _, err := runner.Run(q.Plan(tb)); err != nil {
+				return nil, err
+			}
+			series[s.name] = append(series[s.name], meter.Reset().SimSeconds(model))
+		}
+	}
+
+	res := &Result{
+		Name:   "fig18",
+		Title:  "Execution time on the CMT trace (103 queries, sim-seconds per query)",
+		Header: []string{"query", "FullScan", "Repartitioning", "BestGuess", "AdaptDB"},
+		Notes:  "paper: AdaptDB ≈2.1x faster than full scan overall; converges to the hand-tuned layout within ~10 queries",
+	}
+	for i := range trace {
+		res.AddRow(fi(i),
+			f1(series["FullScan"][i]), f1(series["Repartitioning"][i]),
+			f1(series["BestGuess"][i]), f1(series["AdaptDB"][i]))
+	}
+	var totals [4]float64
+	for i := range trace {
+		totals[0] += series["FullScan"][i]
+		totals[1] += series["Repartitioning"][i]
+		totals[2] += series["BestGuess"][i]
+		totals[3] += series["AdaptDB"][i]
+	}
+	res.AddRow("TOTAL", f1(totals[0]), f1(totals[1]), f1(totals[2]), f1(totals[3]))
+	res.Series = series
+	return res, nil
+}

@@ -1,0 +1,111 @@
+// Package hyperjoin implements the hyper-join block-grouping problem of
+// §4.1: given the overlap structure between the blocks of two relations
+// R and S on a join attribute, partition R's blocks into groups of at
+// most B (the memory budget) so that the total number of S-block reads —
+// C(P) = Σ δ(ṽ(p)) — is minimized. Finding even one optimal group is
+// NP-hard (§4.1.4, by reduction from maximum k-subset intersection), so
+// the package provides the paper's practical bottom-up heuristic
+// (Fig. 6), the per-round greedy formulation (Fig. 5), a trivial
+// first-fit baseline, and an exact branch-and-bound optimizer standing in
+// for the paper's GLPK MIP (§4.1.2) at evaluation scale.
+package hyperjoin
+
+import "math/bits"
+
+// BitVec is a fixed-width bitset over S-block indexes: the paper's
+// overlap vector v_i, where bit j means "R block i overlaps S block j on
+// the join attribute".
+type BitVec []uint64
+
+// NewBitVec returns an all-zero vector able to hold m bits.
+func NewBitVec(m int) BitVec {
+	return make(BitVec, (m+63)/64)
+}
+
+// Set sets bit i.
+func (v BitVec) Set(i int) { v[i/64] |= 1 << (uint(i) % 64) }
+
+// Get reports bit i.
+func (v BitVec) Get(i int) bool { return v[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Clone copies the vector.
+func (v BitVec) Clone() BitVec {
+	out := make(BitVec, len(v))
+	copy(out, v)
+	return out
+}
+
+// OrInto sets v |= o. The vectors must have equal width.
+func (v BitVec) OrInto(o BitVec) {
+	for i := range v {
+		v[i] |= o[i]
+	}
+}
+
+// PopCount returns δ(v): the number of set bits.
+func (v BitVec) PopCount() int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// OrPopCount returns δ(v ∨ o) without allocating — the inner operation
+// of both heuristics' argmin loops.
+func (v BitVec) OrPopCount(o BitVec) int {
+	n := 0
+	for i := range v {
+		n += bits.OnesCount64(v[i] | o[i])
+	}
+	return n
+}
+
+// AndNotPopCount returns δ(o ∧ ¬v): how many *new* bits o would add to
+// v. Equivalent to OrPopCount(o) - PopCount() but cheaper to reason
+// about in bounds computations.
+func (v BitVec) AndNotPopCount(o BitVec) int {
+	n := 0
+	for i := range v {
+		n += bits.OnesCount64(o[i] &^ v[i])
+	}
+	return n
+}
+
+// Equal reports bitwise equality.
+func (v BitVec) Equal(o BitVec) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ones returns the indexes of the set bits, ascending.
+func (v BitVec) Ones() []int {
+	var out []int
+	for i, w := range v {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Union returns ṽ(p): the union vector of the given R-block vectors.
+func Union(V []BitVec, group []int) BitVec {
+	if len(V) == 0 {
+		return nil
+	}
+	u := NewBitVec(len(V[0]) * 64)
+	for _, i := range group {
+		u.OrInto(V[i])
+	}
+	return u
+}

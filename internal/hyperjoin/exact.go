@@ -1,0 +1,253 @@
+package hyperjoin
+
+import "sort"
+
+// ExactOptions bounds the exact search. The paper's GLPK runs took 20
+// minutes at a 32-block budget and did not finish in 96 hours at 16
+// blocks (Fig. 17b); MaxSteps plays the role of that wall-clock cap so
+// experiments report "timed out" instead of hanging.
+type ExactOptions struct {
+	// MaxSteps caps search-tree nodes; 0 means a generous default.
+	MaxSteps int64
+}
+
+// ExactResult is the outcome of the exact optimizer.
+type ExactResult struct {
+	Grouping Grouping
+	Cost     int
+	// Optimal is true when the search finished; false means the step
+	// budget ran out and Grouping is the best incumbent found.
+	Optimal bool
+	// Steps is the number of search nodes expanded.
+	Steps int64
+}
+
+// Exact solves Problem 1 (§4.1.1) to optimality by branch and bound over
+// block-to-partition assignments — the role of the mixed-integer program
+// in §4.1.2. Partitions are capped at B blocks and at most c = ⌈n/B⌉
+// partitions are used (using fewer is never worse, since merging two
+// groups only removes double-counted bits).
+//
+// Bounding: for each S block j, let r_j be the number of unassigned R
+// blocks overlapping j and freeCap_j the spare capacity of partitions
+// already covering j. At least ⌈max(0, r_j−freeCap_j)/B⌉ additional
+// partitions must come to cover j, each adding one bit. The bound sums
+// these per-bit increments over j; symmetry is broken by allowing at
+// most one empty partition as an assignment target.
+func Exact(V []BitVec, B int, opt ExactOptions) ExactResult {
+	n := len(V)
+	if n == 0 {
+		return ExactResult{Optimal: true}
+	}
+	if B < 1 {
+		B = 1
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 50_000_000
+	}
+	c := (n + B - 1) / B
+
+	// Heavy blocks first: more bits set earlier tightens the bound.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return V[order[a]].PopCount() > V[order[b]].PopCount()
+	})
+
+	m := len(V[0]) * 64
+	// rem[j] = unassigned blocks covering bit j, maintained over `order`.
+	rem := make([]int, m)
+	for _, v := range V {
+		for _, j := range v.Ones() {
+			rem[j]++
+		}
+	}
+
+	// Incumbent from the practical heuristic.
+	inc := BottomUp(V, B)
+	best := Cost(inc, V)
+	bestAssign := make([]int, n)
+	for g, grp := range inc {
+		for _, i := range grp {
+			bestAssign[i] = g
+		}
+	}
+
+	unions := make([]BitVec, c)
+	sizes := make([]int, c)
+	for k := range unions {
+		unions[k] = NewBitVec(m)
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	var steps int64
+	timedOut := false
+
+	lowerBound := func(cur int) int {
+		lb := cur
+		for j := 0; j < m; j++ {
+			rj := rem[j]
+			if rj == 0 {
+				continue
+			}
+			free := 0
+			for k := 0; k < c; k++ {
+				if sizes[k] > 0 && sizes[k] < B && unions[k].Get(j) {
+					free += B - sizes[k]
+				}
+			}
+			if rj > free {
+				lb += (rj - free + B - 1) / B
+			}
+		}
+		return lb
+	}
+
+	var dfs func(t, cur int)
+	dfs = func(t, cur int) {
+		if timedOut {
+			return
+		}
+		steps++
+		if steps > maxSteps {
+			timedOut = true
+			return
+		}
+		if cur >= best {
+			return
+		}
+		if t == n {
+			best = cur
+			copy(bestAssign, assign)
+			return
+		}
+		if lowerBound(cur) >= best {
+			return
+		}
+		i := order[t]
+		// Decrement remaining coverage for i's bits while it is "being
+		// placed".
+		ones := V[i].Ones()
+		for _, j := range ones {
+			rem[j]--
+		}
+		usedEmpty := false
+		for k := 0; k < c; k++ {
+			if sizes[k] >= B {
+				continue
+			}
+			if sizes[k] == 0 {
+				if usedEmpty {
+					continue // symmetry: all empty partitions equivalent
+				}
+				usedEmpty = true
+			}
+			add := unions[k].AndNotPopCount(V[i])
+			if cur+add >= best {
+				continue
+			}
+			// Apply.
+			var flipped []int
+			for _, j := range ones {
+				if !unions[k].Get(j) {
+					unions[k].Set(j)
+					flipped = append(flipped, j)
+				}
+			}
+			sizes[k]++
+			assign[i] = k
+			dfs(t+1, cur+add)
+			// Undo.
+			assign[i] = -1
+			sizes[k]--
+			for _, j := range flipped {
+				unions[k][j/64] &^= 1 << (uint(j) % 64)
+			}
+			if timedOut {
+				break
+			}
+		}
+		for _, j := range ones {
+			rem[j]++
+		}
+	}
+	dfs(0, 0)
+
+	groups := make(Grouping, c)
+	for i, g := range bestAssign {
+		groups[g] = append(groups[g], i)
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return ExactResult{Grouping: out, Cost: best, Optimal: !timedOut, Steps: steps}
+}
+
+// BruteForce enumerates every partitioning of n ≤ 12 blocks into groups
+// of at most B and returns the optimum. It exists purely as a test
+// oracle for Exact and the heuristics.
+func BruteForce(V []BitVec, B int) (Grouping, int) {
+	n := len(V)
+	if n == 0 {
+		return nil, 0
+	}
+	c := (n + B - 1) / B
+	assign := make([]int, n)
+	best := 1 << 30
+	var bestAssign []int
+	var rec func(t, used int)
+	rec = func(t, used int) {
+		if t == n {
+			sizes := make([]int, used)
+			unions := make([]BitVec, used)
+			for k := range unions {
+				unions[k] = NewBitVec(len(V[0]) * 64)
+			}
+			for i, g := range assign {
+				sizes[g]++
+				if sizes[g] > B {
+					return
+				}
+				unions[g].OrInto(V[i])
+			}
+			cost := 0
+			for _, u := range unions {
+				cost += u.PopCount()
+			}
+			if cost < best {
+				best = cost
+				bestAssign = append([]int(nil), assign...)
+			}
+			return
+		}
+		for k := 0; k <= used && k < c; k++ {
+			assign[t] = k
+			nu := used
+			if k == used {
+				nu++
+			}
+			rec(t+1, nu)
+		}
+	}
+	rec(0, 0)
+	groups := make(Grouping, c)
+	for i, g := range bestAssign {
+		groups[g] = append(groups[g], i)
+	}
+	var out Grouping
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out, best
+}

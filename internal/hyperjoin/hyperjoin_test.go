@@ -1,0 +1,353 @@
+package hyperjoin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/value"
+)
+
+// --- BitVec ---
+
+func TestBitVecBasics(t *testing.T) {
+	v := NewBitVec(130)
+	if len(v) != 3 {
+		t.Fatalf("width: got %d words", len(v))
+	}
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	for _, i := range []int{0, 64, 129} {
+		if !v.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.Get(1) || v.Get(128) {
+		t.Errorf("unexpected bits set")
+	}
+	if v.PopCount() != 3 {
+		t.Errorf("PopCount = %d, want 3", v.PopCount())
+	}
+	ones := v.Ones()
+	if len(ones) != 3 || ones[0] != 0 || ones[1] != 64 || ones[2] != 129 {
+		t.Errorf("Ones = %v", ones)
+	}
+}
+
+func TestBitVecOps(t *testing.T) {
+	a, b := NewBitVec(64), NewBitVec(64)
+	a.Set(1)
+	a.Set(2)
+	b.Set(2)
+	b.Set(3)
+	if a.OrPopCount(b) != 3 {
+		t.Errorf("OrPopCount = %d, want 3", a.OrPopCount(b))
+	}
+	if a.AndNotPopCount(b) != 1 { // b adds bit 3 only
+		t.Errorf("AndNotPopCount = %d, want 1", a.AndNotPopCount(b))
+	}
+	c := a.Clone()
+	c.OrInto(b)
+	if c.PopCount() != 3 || a.PopCount() != 2 {
+		t.Errorf("OrInto/Clone aliasing problem")
+	}
+	if !c.Equal(c.Clone()) || c.Equal(a) {
+		t.Errorf("Equal wrong")
+	}
+	if a.Equal(NewBitVec(128)) {
+		t.Errorf("different widths should not be equal")
+	}
+}
+
+// --- overlap vectors ---
+
+func halfOpen(lo, hi int64) predicate.Range {
+	return predicate.Range{HasLo: true, Lo: value.NewInt(lo), HasHi: true, Hi: value.NewInt(hi), HiOpen: true}
+}
+
+// figure4 builds the paper's Figure 4 instance.
+func figure4() []BitVec {
+	r := []predicate.Range{halfOpen(0, 100), halfOpen(100, 200), halfOpen(200, 300), halfOpen(300, 400)}
+	s := []predicate.Range{halfOpen(0, 150), halfOpen(150, 250), halfOpen(250, 350), halfOpen(350, 400)}
+	return OverlapVectors(r, s)
+}
+
+func bitsOf(v BitVec) string {
+	out := make([]byte, 4)
+	for i := 0; i < 4; i++ {
+		if v.Get(i) {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+func TestFigure4OverlapVectors(t *testing.T) {
+	V := figure4()
+	// Paper: V = {v1=1000, v2=1100, v3=0110, v4=0011}.
+	want := []string{"1000", "1100", "0110", "0011"}
+	for i, w := range want {
+		if got := bitsOf(V[i]); got != w {
+			t.Errorf("v%d = %s, want %s", i+1, got, w)
+		}
+	}
+}
+
+func TestFigure4OptimalGrouping(t *testing.T) {
+	V := figure4()
+	// Paper: with B=2, P = {{r1,r2},{r3,r4}} is optimal with C(P) = 5.
+	res := Exact(V, 2, ExactOptions{})
+	if !res.Optimal {
+		t.Fatalf("tiny instance should solve to optimality")
+	}
+	if res.Cost != 5 {
+		t.Errorf("optimal cost = %d, want 5 (paper §4.1.1)", res.Cost)
+	}
+	if err := Validate(res.Grouping, 4, 2); err != nil {
+		t.Errorf("invalid grouping: %v", err)
+	}
+	// The bottom-up heuristic also achieves 5 here.
+	bu := BottomUp(V, 2)
+	if got := Cost(bu, V); got != 5 {
+		t.Errorf("bottom-up cost = %d, want 5", got)
+	}
+}
+
+// TestPaperExample1 reproduces Example 1 from the introduction:
+// v1={B1,B2}, v2={B1,B2,B3}, v3={B2,B3}, memory for 2 blocks.
+// Grouping {A1,A3},{A2} reads 6 blocks; {A1,A2},{A3} reads 5.
+func TestPaperExample1(t *testing.T) {
+	v1, v2, v3 := NewBitVec(3), NewBitVec(3), NewBitVec(3)
+	v1.Set(0)
+	v1.Set(1)
+	v2.Set(0)
+	v2.Set(1)
+	v2.Set(2)
+	v3.Set(1)
+	v3.Set(2)
+	V := []BitVec{v1, v2, v3}
+
+	bad := Grouping{{0, 2}, {1}}
+	if got := Cost(bad, V); got != 6 {
+		t.Errorf("cost({A1,A3},{A2}) = %d, want 6", got)
+	}
+	good := Grouping{{0, 1}, {2}}
+	if got := Cost(good, V); got != 5 {
+		t.Errorf("cost({A1,A2},{A3}) = %d, want 5", got)
+	}
+	res := Exact(V, 2, ExactOptions{})
+	if res.Cost != 5 || !res.Optimal {
+		t.Errorf("exact = %+v, want optimal cost 5", res)
+	}
+}
+
+// --- grouping algorithms ---
+
+func randomV(n, m int, density float64, seed int64) []BitVec {
+	rng := rand.New(rand.NewSource(seed))
+	V := make([]BitVec, n)
+	for i := range V {
+		v := NewBitVec(m)
+		// Interval-style overlap: each R block overlaps a contiguous run of
+		// S blocks, like real zone maps.
+		start := rng.Intn(m)
+		length := 1 + rng.Intn(int(float64(m)*density)+1)
+		for j := start; j < start+length && j < m; j++ {
+			v.Set(j)
+		}
+		V[i] = v
+	}
+	return V
+}
+
+func TestValidate(t *testing.T) {
+	V := figure4()
+	if err := Validate(Grouping{{0, 1}, {2, 3}}, 4, 2); err != nil {
+		t.Errorf("valid grouping rejected: %v", err)
+	}
+	if err := Validate(Grouping{{0, 1, 2}, {3}}, 4, 2); err == nil {
+		t.Errorf("oversized group accepted")
+	}
+	if err := Validate(Grouping{{0, 1}, {1, 2}}, 4, 2); err == nil {
+		t.Errorf("duplicate accepted")
+	}
+	if err := Validate(Grouping{{0, 1}}, 4, 2); err == nil {
+		t.Errorf("incomplete grouping accepted")
+	}
+	if err := Validate(Grouping{{0, 9}}, 4, 2); err == nil {
+		t.Errorf("out-of-range index accepted")
+	}
+	_ = V
+}
+
+func TestBottomUpRespectsConstraints(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		V := randomV(17, 32, 0.3, seed)
+		for _, B := range []int{1, 2, 4, 7, 17, 100} {
+			g := BottomUp(V, B)
+			if err := Validate(g, len(V), B); err != nil {
+				t.Fatalf("seed %d B %d: %v", seed, B, err)
+			}
+		}
+	}
+}
+
+func TestBottomUpEmptyAndDegenerate(t *testing.T) {
+	if BottomUp(nil, 4) != nil {
+		t.Errorf("empty input should give nil")
+	}
+	V := randomV(5, 8, 0.5, 1)
+	g := BottomUp(V, 0) // B clamped to 1
+	if err := Validate(g, 5, 1); err != nil {
+		t.Errorf("B=0: %v", err)
+	}
+	if len(g) != 5 {
+		t.Errorf("B=1 should give singleton groups, got %d", len(g))
+	}
+}
+
+func TestGreedyBestSeedRespectsConstraints(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		V := randomV(12, 16, 0.4, seed)
+		for _, B := range []int{2, 3, 5} {
+			g := GreedyBestSeed(V, B)
+			if err := Validate(g, len(V), B); err != nil {
+				t.Fatalf("seed %d B %d: %v", seed, B, err)
+			}
+		}
+	}
+	if GreedyBestSeed(nil, 2) != nil {
+		t.Errorf("empty input should give nil")
+	}
+}
+
+func TestFirstFit(t *testing.T) {
+	V := randomV(10, 16, 0.4, 3)
+	g := FirstFit(V, 4)
+	if err := Validate(g, 10, 4); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(g) != 3 || len(g[0]) != 4 || len(g[2]) != 2 {
+		t.Errorf("chunking wrong: %v", g)
+	}
+	if FirstFit(nil, 2) != nil {
+		t.Errorf("empty input should give nil")
+	}
+	g = FirstFit(V, 0)
+	if err := Validate(g, 10, 1); err != nil {
+		t.Errorf("B=0: %v", err)
+	}
+}
+
+// Exact matches the brute-force oracle on small random instances.
+func TestExactMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		n := 4 + int(seed%5) // 4..8 blocks
+		V := randomV(n, 10, 0.4, seed)
+		for _, B := range []int{2, 3} {
+			_, want := BruteForce(V, B)
+			res := Exact(V, B, ExactOptions{})
+			if !res.Optimal {
+				t.Fatalf("seed %d: tiny instance timed out", seed)
+			}
+			if res.Cost != want {
+				t.Errorf("seed %d n %d B %d: exact %d, brute force %d", seed, n, B, res.Cost, want)
+			}
+			if got := Cost(res.Grouping, V); got != res.Cost {
+				t.Errorf("reported cost %d != recomputed %d", res.Cost, got)
+			}
+			if err := Validate(res.Grouping, n, B); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// Heuristics are never better than the optimum, and exact is never worse
+// than any heuristic.
+func TestExactLowerBoundsHeuristicsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5 + int(uint64(seed)%6)
+		V := randomV(n, 12, 0.4, seed)
+		B := 2 + int(uint64(seed)%3)
+		opt := Exact(V, B, ExactOptions{}).Cost
+		if Cost(BottomUp(V, B), V) < opt {
+			return false
+		}
+		if Cost(GreedyBestSeed(V, B), V) < opt {
+			return false
+		}
+		if Cost(FirstFit(V, B), V) < opt {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactTimeoutReturnsIncumbent(t *testing.T) {
+	V := randomV(40, 64, 0.5, 9)
+	res := Exact(V, 5, ExactOptions{MaxSteps: 100})
+	if res.Optimal {
+		t.Skip("instance solved in 100 steps; cannot exercise timeout")
+	}
+	if err := Validate(res.Grouping, 40, 5); err != nil {
+		t.Fatalf("timeout incumbent invalid: %v", err)
+	}
+	if res.Cost != Cost(res.Grouping, V) {
+		t.Errorf("timeout cost mismatch")
+	}
+	// Incumbent comes from BottomUp, so it can't be worse than it.
+	if res.Cost > Cost(BottomUp(V, 5), V) {
+		t.Errorf("incumbent worse than bottom-up")
+	}
+}
+
+// The co-partitioned case: when each R block overlaps exactly one S
+// block, any sane grouping reaches the lower bound m, i.e. CHyJ = 1
+// (§4.2: "For a completely co-partitioned table, CHyJ will be 1").
+func TestCoPartitionedReachesLowerBound(t *testing.T) {
+	n := 16
+	V := make([]BitVec, n)
+	for i := range V {
+		v := NewBitVec(n)
+		v.Set(i)
+		V[i] = v
+	}
+	for _, B := range []int{1, 2, 4, 8} {
+		if got := Cost(BottomUp(V, B), V); got != n {
+			t.Errorf("B=%d: co-partitioned cost %d, want %d", B, got, n)
+		}
+	}
+}
+
+// Larger buffer never hurts the bottom-up heuristic on interval-shaped
+// overlaps (the Fig. 14 monotone trend).
+func TestBottomUpBufferMonotoneOnIntervals(t *testing.T) {
+	V := randomV(64, 64, 0.2, 42)
+	prev := 1 << 30
+	for _, B := range []int{1, 2, 4, 8, 16, 32, 64} {
+		c := Cost(BottomUp(V, B), V)
+		if c > prev {
+			t.Errorf("B=%d cost %d worse than smaller buffer %d", B, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestUnionHelper(t *testing.T) {
+	V := figure4()
+	u := Union(V, []int{0, 1})
+	if bitsOf(u) != "1100" {
+		t.Errorf("Union = %s, want 1100", bitsOf(u))
+	}
+	if Union(nil, nil) != nil {
+		t.Errorf("Union of nothing should be nil")
+	}
+}

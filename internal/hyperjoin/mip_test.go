@@ -1,0 +1,93 @@
+package hyperjoin
+
+import (
+	"testing"
+
+	"adaptdb/internal/ilp"
+)
+
+func TestBuildMIPDimensions(t *testing.T) {
+	V := figure4() // n=4, m (width) = 64 after rounding, but bits only 0..3
+	prob, n, c := BuildMIP(V, 2)
+	if n != 4 || c != 2 {
+		t.Fatalf("n=%d c=%d, want 4, 2", n, c)
+	}
+	// Vars: 4*2 x + 64*2 y.
+	if prob.LP.NumVars != 8+128 {
+		t.Errorf("NumVars = %d", prob.LP.NumVars)
+	}
+	// Integrality only on x.
+	for v := 0; v < 8; v++ {
+		if !prob.IsInt[v] {
+			t.Errorf("x var %d not integer", v)
+		}
+	}
+	for v := 8; v < prob.LP.NumVars; v++ {
+		if prob.IsInt[v] {
+			t.Errorf("y var %d should be continuous", v)
+		}
+	}
+	// Constraints: c budget + n assignment + links (Σ overlaps × c).
+	links := 0
+	for _, v := range V {
+		links += v.PopCount()
+	}
+	want := 2 + 4 + links*2
+	if len(prob.LP.Constraints) != want {
+		t.Errorf("constraints = %d, want %d", len(prob.LP.Constraints), want)
+	}
+}
+
+func TestSolveMIPFigure4(t *testing.T) {
+	V := figure4()
+	res := SolveMIP(V, 2, ilp.Options{})
+	if !res.Optimal {
+		t.Fatalf("figure 4 MIP should solve to optimality: %+v", res)
+	}
+	if res.Cost != 5 {
+		t.Errorf("MIP cost = %d, want 5", res.Cost)
+	}
+	if err := Validate(res.Grouping, 4, 2); err != nil {
+		t.Errorf("invalid grouping: %v", err)
+	}
+}
+
+func TestSolveMIPMatchesExactSmall(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		V := randomV(5, 6, 0.5, seed)
+		B := 2
+		want := Exact(V, B, ExactOptions{})
+		got := SolveMIP(V, B, ilp.Options{MaxNodes: 100000})
+		if !got.Optimal {
+			t.Fatalf("seed %d: MIP did not finish", seed)
+		}
+		if got.Cost != want.Cost {
+			t.Errorf("seed %d: MIP %d, exact B&B %d", seed, got.Cost, want.Cost)
+		}
+		if err := Validate(got.Grouping, 5, B); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSolveMIPEmpty(t *testing.T) {
+	res := SolveMIP(nil, 2, ilp.Options{})
+	if !res.Optimal || res.Cost != 0 {
+		t.Errorf("empty MIP: %+v", res)
+	}
+}
+
+func TestSolveMIPExample1(t *testing.T) {
+	v1, v2, v3 := NewBitVec(3), NewBitVec(3), NewBitVec(3)
+	v1.Set(0)
+	v1.Set(1)
+	v2.Set(0)
+	v2.Set(1)
+	v2.Set(2)
+	v3.Set(1)
+	v3.Set(2)
+	res := SolveMIP([]BitVec{v1, v2, v3}, 2, ilp.Options{})
+	if !res.Optimal || res.Cost != 5 {
+		t.Errorf("Example 1 MIP: %+v, want optimal cost 5", res)
+	}
+}

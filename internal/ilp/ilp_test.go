@@ -1,0 +1,185 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"adaptdb/internal/lp"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestPureLPPassThrough(t *testing.T) {
+	// No integer vars: one node, LP optimum.
+	p := Problem{
+		LP: lp.Problem{
+			NumVars:   2,
+			Objective: []float64{-1, -1},
+			Constraints: []lp.Constraint{
+				{Coef: []float64{1, 1}, Sense: lp.LE, RHS: 4},
+			},
+		},
+		IsInt: []bool{false, false},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Optimal || !almost(r.Objective, -4) {
+		t.Fatalf("got %v obj %v", r.Status, r.Objective)
+	}
+	if r.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1", r.Nodes)
+	}
+}
+
+func TestKnapsackStyle(t *testing.T) {
+	// max 5a+4b+3c s.t. 2a+3b+c ≤ 5, 4a+b+2c ≤ 11, 3a+4b+2c ≤ 8, binary.
+	// LP relax is fractional; integer optimum is a=1,b=0,c=1 → 8? Check:
+	// a=1,c=1: w1=3≤5, w2=6≤11, w3=5≤8 → value 8. a=1,b=1: w1=5, w3=7 → 9.
+	// a=1,b=1,c=0 → value 9, feasible (w2=5). So optimum ≥ 9.
+	bound := func(j int) lp.Constraint {
+		c := make([]float64, 3)
+		c[j] = 1
+		return lp.Constraint{Coef: c, Sense: lp.LE, RHS: 1}
+	}
+	p := Problem{
+		LP: lp.Problem{
+			NumVars:   3,
+			Objective: []float64{-5, -4, -3},
+			Constraints: []lp.Constraint{
+				{Coef: []float64{2, 3, 1}, Sense: lp.LE, RHS: 5},
+				{Coef: []float64{4, 1, 2}, Sense: lp.LE, RHS: 11},
+				{Coef: []float64{3, 4, 2}, Sense: lp.LE, RHS: 8},
+				bound(0), bound(1), bound(2),
+			},
+		},
+		IsInt: []bool{true, true, true},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !almost(r.Objective, -9) {
+		t.Errorf("objective = %v, want -9", r.Objective)
+	}
+	for j, x := range r.X {
+		if !almost(x, math.Round(x)) {
+			t.Errorf("x[%d] = %v not integral", j, x)
+		}
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// min x s.t. x ≥ 2.5, x integer → 3.
+	p := Problem{
+		LP: lp.Problem{
+			NumVars:     1,
+			Objective:   []float64{1},
+			Constraints: []lp.Constraint{{Coef: []float64{1}, Sense: lp.GE, RHS: 2.5}},
+		},
+		IsInt: []bool{true},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Optimal || !almost(r.Objective, 3) {
+		t.Fatalf("got %v obj %v, want optimal 3", r.Status, r.Objective)
+	}
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 0.4 ≤ x ≤ 0.6, x integer: LP feasible, no integer point.
+	p := Problem{
+		LP: lp.Problem{
+			NumVars:   1,
+			Objective: []float64{1},
+			Constraints: []lp.Constraint{
+				{Coef: []float64{1}, Sense: lp.GE, RHS: 0.4},
+				{Coef: []float64{1}, Sense: lp.LE, RHS: 0.6},
+			},
+		},
+		IsInt: []bool{true},
+	}
+	if r := Solve(p, Options{}); r.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestInfeasibleLP(t *testing.T) {
+	p := Problem{
+		LP: lp.Problem{
+			NumVars:   1,
+			Objective: []float64{1},
+			Constraints: []lp.Constraint{
+				{Coef: []float64{1}, Sense: lp.GE, RHS: 3},
+				{Coef: []float64{1}, Sense: lp.LE, RHS: 1},
+			},
+		},
+		IsInt: []bool{true},
+	}
+	if r := Solve(p, Options{}); r.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnboundedRelaxation(t *testing.T) {
+	p := Problem{
+		LP: lp.Problem{
+			NumVars:     1,
+			Objective:   []float64{-1},
+			Constraints: []lp.Constraint{{Coef: []float64{1}, Sense: lp.GE, RHS: 0}},
+		},
+		IsInt: []bool{true},
+	}
+	if r := Solve(p, Options{}); r.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A 12-variable equality-constrained problem that needs branching;
+	// MaxNodes 1 explores only the root.
+	n := 12
+	obj := make([]float64, n)
+	coef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		obj[j] = float64(j%3 + 1)
+		coef[j] = 1
+	}
+	isInt := make([]bool, n)
+	for j := range isInt {
+		isInt[j] = true
+	}
+	cons := []lp.Constraint{{Coef: coef, Sense: lp.EQ, RHS: 5.5}}
+	p := Problem{LP: lp.Problem{NumVars: n, Objective: obj, Constraints: cons}, IsInt: isInt}
+	r := Solve(p, Options{MaxNodes: 1})
+	if r.Status != NoSolution && r.Status != Feasible && r.Status != Infeasible {
+		t.Errorf("unexpected status %v under node limit", r.Status)
+	}
+	if r.Nodes > 1 {
+		t.Errorf("explored %d nodes with limit 1", r.Nodes)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -x - 0.5y, x integer ≤ 2.3, y continuous ≤ 1.7, x+y ≤ 3.5.
+	// Optimal: x=2, y=1.5 → -2.75.
+	p := Problem{
+		LP: lp.Problem{
+			NumVars:   2,
+			Objective: []float64{-1, -0.5},
+			Constraints: []lp.Constraint{
+				{Coef: []float64{1, 0}, Sense: lp.LE, RHS: 2.3},
+				{Coef: []float64{0, 1}, Sense: lp.LE, RHS: 1.7},
+				{Coef: []float64{1, 1}, Sense: lp.LE, RHS: 3.5},
+			},
+		},
+		IsInt: []bool{true, false},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !almost(r.X[0], 2) || !almost(r.X[1], 1.5) {
+		t.Errorf("x = %v, want [2 1.5]", r.X)
+	}
+	if !almost(r.Objective, -2.75) {
+		t.Errorf("objective = %v, want -2.75", r.Objective)
+	}
+}

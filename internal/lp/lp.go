@@ -1,0 +1,304 @@
+// Package lp is a small dense linear-programming solver: two-phase
+// primal simplex with Bland's anti-cycling rule. It exists to back the
+// 0/1 mixed-integer solver in internal/ilp, which stands in for the GLPK
+// solver the paper uses for the hyper-join MIP baseline (§4.1.2,
+// Fig. 17). Problems are minimization over x ≥ 0 with ≤ / ≥ / =
+// constraints.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota
+	GE
+	EQ
+)
+
+// Constraint is one linear row: Coef · x  (Sense)  RHS.
+type Constraint struct {
+	Coef  []float64
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is minimize Objective · x subject to Constraints and x ≥ 0.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution holds the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex on a copy of the problem.
+func Solve(p *Problem) Solution {
+	n := p.NumVars
+	m := len(p.Constraints)
+	if len(p.Objective) != n {
+		return Solution{Status: Infeasible}
+	}
+
+	// Column layout: [0,n) structural, then one slack/surplus per
+	// inequality, then artificials.
+	nSlack := 0
+	for _, c := range p.Constraints {
+		if c.Sense != EQ {
+			nSlack++
+		}
+	}
+	// Artificials: GE and EQ rows always need one; LE rows need one only
+	// when RHS < 0 after normalization — we normalize RHS ≥ 0 first, which
+	// can flip senses, so compute after normalization.
+	type row struct {
+		coef  []float64
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]row, m)
+	for i, c := range p.Constraints {
+		if len(c.Coef) != n {
+			return Solution{Status: Infeasible}
+		}
+		r := row{coef: append([]float64(nil), c.Coef...), sense: c.Sense, rhs: c.RHS}
+		if r.rhs < 0 {
+			for j := range r.coef {
+				r.coef[j] = -r.coef[j]
+			}
+			r.rhs = -r.rhs
+			switch r.sense {
+			case LE:
+				r.sense = GE
+			case GE:
+				r.sense = LE
+			}
+		}
+		rows[i] = r
+	}
+	nSlack = 0
+	nArt := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+		if r.sense != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// tab[i] is row i with total+1 entries (last = RHS).
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	artStart := n + nSlack
+	si, ai := 0, 0
+	for i, r := range rows {
+		tr := make([]float64, total+1)
+		copy(tr, r.coef)
+		tr[total] = r.rhs
+		switch r.sense {
+		case LE:
+			tr[n+si] = 1
+			basis[i] = n + si
+			si++
+		case GE:
+			tr[n+si] = -1
+			si++
+			tr[artStart+ai] = 1
+			basis[i] = artStart + ai
+			ai++
+		case EQ:
+			tr[artStart+ai] = 1
+			basis[i] = artStart + ai
+			ai++
+		}
+		tab[i] = tr
+	}
+
+	iterBudget := 200 * (m + total + 10)
+
+	// phase runs simplex for cost vector c (length total), returning the
+	// status. banned columns may not enter the basis.
+	phase := func(c []float64, banned func(j int) bool) Status {
+		// Reduced-cost row: r = c - c_B B^{-1} A; with unit basic columns,
+		// start from c and price out each basic row with nonzero cost.
+		red := make([]float64, total+1)
+		copy(red, c)
+		for i, b := range basis {
+			if cb := c[b]; cb != 0 {
+				for j := 0; j <= total; j++ {
+					red[j] -= cb * tab[i][j]
+				}
+			}
+		}
+		for iter := 0; iter < iterBudget; iter++ {
+			// Bland: entering = smallest index with reduced cost < -eps.
+			enter := -1
+			for j := 0; j < total; j++ {
+				if banned != nil && banned(j) {
+					continue
+				}
+				if red[j] < -eps {
+					enter = j
+					break
+				}
+			}
+			if enter == -1 {
+				return Optimal
+			}
+			// Ratio test; Bland tie-break on smallest basis index.
+			leave := -1
+			best := math.Inf(1)
+			for i := 0; i < m; i++ {
+				a := tab[i][enter]
+				if a > eps {
+					ratio := tab[i][total] / a
+					if ratio < best-eps || (math.Abs(ratio-best) <= eps && (leave == -1 || basis[i] < basis[leave])) {
+						best = ratio
+						leave = i
+					}
+				}
+			}
+			if leave == -1 {
+				return Unbounded
+			}
+			pivot(tab, red, basis, leave, enter, total)
+		}
+		return IterLimit
+	}
+
+	// Phase 1: minimize sum of artificials.
+	if nArt > 0 {
+		c1 := make([]float64, total+1)
+		for j := artStart; j < total; j++ {
+			c1[j] = 1
+		}
+		st := phase(c1, nil)
+		if st == IterLimit {
+			return Solution{Status: IterLimit}
+		}
+		// Objective value = sum of artificial basics.
+		sum := 0.0
+		for i, b := range basis {
+			if b >= artStart {
+				sum += tab[i][total]
+			}
+		}
+		if sum > 1e-7 {
+			return Solution{Status: Infeasible}
+		}
+		// Drive any degenerate artificial out of the basis.
+		for i := 0; i < m; i++ {
+			if basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					red := make([]float64, total+1) // dummy reduced costs
+					pivot(tab, red, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over real variables: redundant; leave the
+				// artificial basic at zero. It stays zero since its column is
+				// banned in phase 2.
+				_ = pivoted
+			}
+		}
+	}
+
+	// Phase 2: original objective, artificial columns banned.
+	c2 := make([]float64, total+1)
+	copy(c2, p.Objective)
+	st := phase(c2, func(j int) bool { return j >= artStart })
+	if st != Optimal {
+		return Solution{Status: st}
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.Objective[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}
+}
+
+// pivot performs a full-tableau pivot on (leave, enter), updating the
+// reduced-cost row as well.
+func pivot(tab [][]float64, red []float64, basis []int, leave, enter, total int) {
+	pr := tab[leave]
+	pv := pr[enter]
+	inv := 1.0 / pv
+	for j := 0; j <= total; j++ {
+		pr[j] *= inv
+	}
+	pr[enter] = 1 // exact
+	for i := range tab {
+		if i == leave {
+			continue
+		}
+		f := tab[i][enter]
+		if f == 0 {
+			continue
+		}
+		r := tab[i]
+		for j := 0; j <= total; j++ {
+			r[j] -= f * pr[j]
+		}
+		r[enter] = 0
+	}
+	if f := red[enter]; f != 0 {
+		for j := 0; j <= total; j++ {
+			red[j] -= f * pr[j]
+		}
+		red[enter] = 0
+	}
+	basis[leave] = enter
+}

@@ -1,0 +1,331 @@
+// Package planner implements AdaptDB's query planner (§6): given a join
+// plan over tables, pick hyper-join, shuffle join, or a combination per
+// join using the §4.2 cost model, and execute multi-relation joins per
+// §4.3 (shuffling only the intermediate when the base table's tree is
+// partitioned on the join attribute).
+//
+// The planner's three cases for a base-table join (§6):
+//  1. both tables have one tree partitioned on the join attribute —
+//     hyper-join;
+//  2. one or both tables are mid smooth-repartitioning (multiple trees) —
+//     a combination of hyper-join over the co-partitioned portions and
+//     shuffle join over the residual portions;
+//  3. no tree on the join attribute — shuffle join, unless the upfront
+//     partitioning happens to make hyper-join cheaper anyway.
+package planner
+
+import (
+	"fmt"
+
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/core"
+	"adaptdb/internal/exec"
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/tuple"
+)
+
+// Node is a query-plan node: either Scan or Join.
+type Node interface{ width() int }
+
+// Scan reads one table with predicate pushdown.
+type Scan struct {
+	Table *core.Table
+	Preds []predicate.Predicate
+}
+
+func (s *Scan) width() int { return s.Table.Schema.NumCols() }
+
+// Join joins two sub-plans on the given column indexes of their output
+// rows (left columns first in the output).
+type Join struct {
+	Left, Right Node
+	LCol, RCol  int
+}
+
+func (j *Join) width() int { return j.Left.width() + j.Right.width() }
+
+// Strategy names used in reports.
+const (
+	StratHyper       = "hyper"
+	StratShuffle     = "shuffle"
+	StratCombination = "combination"
+	StratSemiShuffle = "semi-shuffle"
+)
+
+// JoinReport describes how one join in the plan was executed.
+type JoinReport struct {
+	Strategy    string
+	CHyJ        float64
+	ProbeBlocks int
+	OutputRows  int
+}
+
+// Report aggregates the per-join reports for a plan run.
+type Report struct {
+	Joins []JoinReport
+}
+
+// Runner executes plans against one executor.
+type Runner struct {
+	Ex    *exec.Executor
+	Model cluster.CostModel
+	// BudgetBlocks is the hyper-join memory budget in blocks (Fig. 14
+	// sweeps it; default 4).
+	BudgetBlocks int
+	// ForceShuffle disables hyper-join entirely (the "AdaptDB w/ Shuffle
+	// Join" and baseline configurations).
+	ForceShuffle bool
+}
+
+// NewRunner builds a plan runner with the default budget.
+func NewRunner(ex *exec.Executor, model cluster.CostModel) *Runner {
+	return &Runner{Ex: ex, Model: model, BudgetBlocks: 4}
+}
+
+func (r *Runner) budget() int {
+	if r.BudgetBlocks > 0 {
+		return r.BudgetBlocks
+	}
+	return 4
+}
+
+// Run executes a plan, returning the result rows and a report of join
+// strategies used.
+func (r *Runner) Run(n Node) ([]tuple.Tuple, *Report, error) {
+	rep := &Report{}
+	rows, err := r.run(n, rep)
+	return rows, rep, err
+}
+
+func (r *Runner) run(n Node, rep *Report) ([]tuple.Tuple, error) {
+	switch nd := n.(type) {
+	case *Scan:
+		return r.Ex.Scan(nd.Table, nd.Preds), nil
+	case *Join:
+		return r.runJoin(nd, rep)
+	default:
+		return nil, fmt.Errorf("planner: unknown node %T", n)
+	}
+}
+
+func (r *Runner) runJoin(j *Join, rep *Report) ([]tuple.Tuple, error) {
+	lScan, lIsScan := j.Left.(*Scan)
+	rScan, rIsScan := j.Right.(*Scan)
+	switch {
+	case lIsScan && rIsScan:
+		rows, jr := r.joinTables(lScan, j.LCol, rScan, j.RCol)
+		jr.OutputRows = len(rows)
+		rep.Joins = append(rep.Joins, jr)
+		return rows, nil
+	case rIsScan:
+		lRows, err := r.run(j.Left, rep)
+		if err != nil {
+			return nil, err
+		}
+		rows, jr := r.semiShuffleJoin(lRows, j.LCol, rScan, j.RCol, false)
+		jr.OutputRows = len(rows)
+		rep.Joins = append(rep.Joins, jr)
+		return rows, nil
+	case lIsScan:
+		rRows, err := r.run(j.Right, rep)
+		if err != nil {
+			return nil, err
+		}
+		rows, jr := r.semiShuffleJoin(rRows, j.RCol, lScan, j.LCol, true)
+		jr.OutputRows = len(rows)
+		rep.Joins = append(rep.Joins, jr)
+		return rows, nil
+	default:
+		lRows, err := r.run(j.Left, rep)
+		if err != nil {
+			return nil, err
+		}
+		rRows, err := r.run(j.Right, rep)
+		if err != nil {
+			return nil, err
+		}
+		rows := r.Ex.ShuffleJoinIntermediates(lRows, rRows, j.LCol, j.RCol)
+		rep.Joins = append(rep.Joins, JoinReport{Strategy: StratShuffle, OutputRows: len(rows)})
+		return rows, nil
+	}
+}
+
+// refRows sums the row counts of a ref set.
+func refRows(refs []core.BlockRef) int {
+	n := 0
+	for _, ref := range refs {
+		n += ref.Meta.Count
+	}
+	return n
+}
+
+// estimateHyper prices a hyper-join schedule: build rows once plus the
+// planned probe rows from the bottom-up grouping (§5.4's "compute the
+// schedule of blocks to read and count the total number of block
+// reads").
+func (r *Runner) estimateHyper(rRefs []core.BlockRef, rCol int, sRefs []core.BlockRef, sCol int) float64 {
+	if len(rRefs) == 0 || len(sRefs) == 0 {
+		return 0
+	}
+	plan := exec.PlanHyper(rRefs, rCol, sRefs, sCol, r.budget())
+	build := float64(refRows(rRefs))
+	probe := 0.0
+	for _, gi := range plan.ProbeIdx {
+		probe += float64(sRefs[gi].Meta.Count)
+	}
+	return build + probe
+}
+
+// estimateShuffle prices a shuffle join with eq. 1: CSJ per row on both
+// sides.
+func (r *Runner) estimateShuffle(rRefs, sRefs []core.BlockRef) float64 {
+	return r.Model.CSJ * float64(refRows(rRefs)+refRows(sRefs))
+}
+
+// joinTables executes a base-table join with the three-case logic.
+func (r *Runner) joinTables(l *Scan, lCol int, rt *Scan, rCol int) ([]tuple.Tuple, JoinReport) {
+	lIdx := l.Table.TreeFor(lCol)
+	rIdx := rt.Table.TreeFor(rCol)
+
+	if r.ForceShuffle || lIdx < 0 || rIdx < 0 {
+		// Case 3: no co-partitioning. Consider opportunistic hyper-join
+		// over whatever trees exist (zone maps may still be tight).
+		if !r.ForceShuffle {
+			lRefs := l.Table.AllRefs(l.Preds)
+			rRefs := rt.Table.AllRefs(rt.Preds)
+			if hy := r.estimateHyper(lRefs, lCol, rRefs, rCol); hy > 0 && hy < r.estimateShuffle(lRefs, rRefs) {
+				rows, stats := r.Ex.HyperJoin(lRefs, l.Preds, lCol, rRefs, rt.Preds, rCol, r.budget())
+				return rows, JoinReport{Strategy: StratHyper, CHyJ: stats.CHyJ, ProbeBlocks: stats.ProbeBlocks}
+			}
+		}
+		rows := r.Ex.ShuffleJoinTables(l.Table, l.Preds, lCol, rt.Table, rt.Preds, rCol)
+		return rows, JoinReport{Strategy: StratShuffle}
+	}
+
+	// Split each side into the co-partitioned portion (the tree on the
+	// join attribute) and the residual portion (all other live trees).
+	l1 := l.Table.Refs(lIdx, l.Preds)
+	var l2 []core.BlockRef
+	for _, i := range l.Table.LiveTrees() {
+		if i != lIdx {
+			l2 = append(l2, l.Table.Refs(i, l.Preds)...)
+		}
+	}
+	r1 := rt.Table.Refs(rIdx, rt.Preds)
+	var r2 []core.BlockRef
+	for _, i := range rt.Table.LiveTrees() {
+		if i != rIdx {
+			r2 = append(r2, rt.Table.Refs(i, rt.Preds)...)
+		}
+	}
+
+	// Orient the hyper-join: build on the smaller co-partitioned side.
+	flip := refRows(r1) < refRows(l1)
+
+	// Case 1: both tables fully co-partitioned. Cost-compare hyper vs
+	// shuffle (§5.4) and run the winner.
+	if len(l2) == 0 && len(r2) == 0 {
+		var hyEst float64
+		if flip {
+			hyEst = r.estimateHyper(r1, rCol, l1, lCol)
+		} else {
+			hyEst = r.estimateHyper(l1, lCol, r1, rCol)
+		}
+		if hyEst >= r.estimateShuffle(l1, r1) {
+			rows := r.Ex.ShuffleJoinTables(l.Table, l.Preds, lCol, rt.Table, rt.Preds, rCol)
+			return rows, JoinReport{Strategy: StratShuffle}
+		}
+		rows, stats := r.hyperOriented(l1, l.Preds, lCol, r1, rt.Preds, rCol, flip)
+		return rows, JoinReport{Strategy: StratHyper, CHyJ: stats.CHyJ, ProbeBlocks: stats.ProbeBlocks}
+	}
+
+	// Case 2: combination join. A⋈B = hyper(A1⋈B1) ∪ shuffle(A2⋈B) ∪
+	// shuffle(A1⋈B2) — disjoint, complete, and mostly-hyper once the
+	// transition is nearly done. Early in a transition the residual
+	// shuffles (which re-read the other side) can exceed a plain shuffle
+	// join, so cost-compare first (§5.4).
+	var combEst float64
+	if flip {
+		combEst = r.estimateHyper(r1, rCol, l1, lCol)
+	} else {
+		combEst = r.estimateHyper(l1, lCol, r1, rCol)
+	}
+	if len(l2) > 0 {
+		// shuffle(A2 ⋈ B): scan+shuffle A2's rows and all of B again.
+		combEst += r.Model.CSJ * float64(refRows(l2)+refRows(r1)+refRows(r2))
+	}
+	if len(r2) > 0 {
+		// shuffle(A1 ⋈ B2): re-scan+shuffle A1 and B2's residual rows.
+		combEst += r.Model.CSJ * float64(refRows(l1)+refRows(r2))
+	}
+	if combEst >= r.estimateShuffle(append(append([]core.BlockRef(nil), l1...), l2...),
+		append(append([]core.BlockRef(nil), r1...), r2...)) {
+		rows := r.Ex.ShuffleJoinTables(l.Table, l.Preds, lCol, rt.Table, rt.Preds, rCol)
+		return rows, JoinReport{Strategy: StratShuffle}
+	}
+	out, stats := r.hyperOriented(l1, l.Preds, lCol, r1, rt.Preds, rCol, flip)
+	if len(l2) > 0 {
+		l2Rows := r.Ex.ScanRefs(l2, l.Preds)
+		bAll := r.Ex.Scan(rt.Table, rt.Preds)
+		out = append(out, r.Ex.ShuffleJoinRows(l2Rows, bAll, lCol, rCol)...)
+	}
+	if len(r2) > 0 {
+		l1Rows := r.Ex.ScanRefs(l1, l.Preds)
+		r2Rows := r.Ex.ScanRefs(r2, rt.Preds)
+		out = append(out, r.Ex.ShuffleJoinRows(l1Rows, r2Rows, lCol, rCol)...)
+	}
+	return out, JoinReport{Strategy: StratCombination, CHyJ: stats.CHyJ, ProbeBlocks: stats.ProbeBlocks}
+}
+
+// hyperOriented runs the hyper-join building on the left refs, or on the
+// right refs when flip is set, always returning rows in (left, right)
+// column order.
+func (r *Runner) hyperOriented(lRefs []core.BlockRef, lPreds []predicate.Predicate, lCol int,
+	rRefs []core.BlockRef, rPreds []predicate.Predicate, rCol int, flip bool) ([]tuple.Tuple, exec.HyperStats) {
+	if !flip {
+		return r.Ex.HyperJoin(lRefs, lPreds, lCol, rRefs, rPreds, rCol, r.budget())
+	}
+	rows, stats := r.Ex.HyperJoin(rRefs, rPreds, rCol, lRefs, lPreds, lCol, r.budget())
+	lw := 0
+	if len(lRefs) > 0 {
+		lw = len(lRefs[0].Meta.Mins)
+	}
+	return swapSides(rows, lw), stats
+}
+
+// swapSides reorders concatenated join rows from (right, left) to
+// (left, right) column order; leftWidth is the left row arity.
+func swapSides(rows []tuple.Tuple, leftWidth int) []tuple.Tuple {
+	for i, row := range rows {
+		rw := len(row) - leftWidth
+		fixed := make(tuple.Tuple, 0, len(row))
+		fixed = append(fixed, row[rw:]...)
+		fixed = append(fixed, row[:rw]...)
+		rows[i] = fixed
+	}
+	return rows
+}
+
+// semiShuffleJoin joins materialized intermediate rows with a base
+// table (§4.3): when the table has a tree on the join attribute, only
+// the intermediate is shuffled and the table is read in place
+// (hyper-style); otherwise both sides shuffle. rowsFirst reports whether
+// the intermediate is the plan's left child (controls output column
+// order).
+func (r *Runner) semiShuffleJoin(rows []tuple.Tuple, rowsCol int, sc *Scan, tblCol int, tblFirst bool) ([]tuple.Tuple, JoinReport) {
+	tblRows := r.Ex.Scan(sc.Table, sc.Preds)
+	strategy := StratSemiShuffle
+	r.Ex.Meter.AddIntermediateShuffle(len(rows))
+	if r.ForceShuffle || sc.Table.TreeFor(tblCol) < 0 {
+		r.Ex.Meter.AddShuffle(len(tblRows))
+		strategy = StratShuffle
+	}
+	var out []tuple.Tuple
+	if tblFirst {
+		out = exec.HashJoinRows(tblRows, rows, tblCol, rowsCol)
+	} else {
+		out = exec.HashJoinRows(rows, tblRows, rowsCol, tblCol)
+	}
+	r.Ex.Meter.AddResultRows(len(out))
+	return out, JoinReport{Strategy: strategy}
+}

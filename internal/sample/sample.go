@@ -1,0 +1,138 @@
+// Package sample provides the sampling machinery AdaptDB's partitioners
+// rely on. Amoeba "collects a sample from the data and uses it to choose
+// the appropriate cut points" (§3.1); two-phase partitioning "sorts all
+// values of the attribute in the sample at the root, and recursively
+// computes medians for each subtree over this sorted list" (§5.1).
+package sample
+
+import (
+	"math/rand"
+	"sort"
+
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+// Reservoir is a classic reservoir sampler over tuples: after observing
+// any number of rows it holds a uniform random sample of at most K.
+type Reservoir struct {
+	K     int
+	rng   *rand.Rand
+	seen  int64
+	items []tuple.Tuple
+}
+
+// NewReservoir creates a sampler holding at most k tuples, seeded
+// deterministically so experiment runs are reproducible.
+func NewReservoir(k int, seed int64) *Reservoir {
+	if k <= 0 {
+		k = 1
+	}
+	return &Reservoir{K: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Observe offers one tuple to the sampler.
+func (r *Reservoir) Observe(t tuple.Tuple) {
+	r.seen++
+	if len(r.items) < r.K {
+		r.items = append(r.items, t)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.K) {
+		r.items[j] = t
+	}
+}
+
+// Seen returns the total number of tuples observed.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Sample returns the current sample (shared backing array; callers must
+// not mutate).
+func (r *Reservoir) Sample() []tuple.Tuple { return r.items }
+
+// Column extracts column col from a tuple sample.
+func Column(rows []tuple.Tuple, col int) []value.Value {
+	out := make([]value.Value, 0, len(rows))
+	for _, t := range rows {
+		if col < len(t) && !t[col].IsNull() {
+			out = append(out, t[col])
+		}
+	}
+	return out
+}
+
+// SortValues sorts values in place under value.Compare and returns them.
+func SortValues(vs []value.Value) []value.Value {
+	sort.Slice(vs, func(i, j int) bool { return value.Less(vs[i], vs[j]) })
+	return vs
+}
+
+// Median returns the median of vs (the lower median for even lengths) and
+// false when vs is empty.
+func Median(vs []value.Value) (value.Value, bool) {
+	if len(vs) == 0 {
+		return value.Value{}, false
+	}
+	sorted := SortValues(append([]value.Value(nil), vs...))
+	return sorted[(len(sorted)-1)/2], true
+}
+
+// Quantiles returns n-1 cut points splitting sorted vs into n roughly
+// equal parts: the recursive-median cut points of §5.1 when n is a power
+// of two. Returned cuts are a subset of the sample values.
+func Quantiles(vs []value.Value, n int) []value.Value {
+	if n <= 1 || len(vs) == 0 {
+		return nil
+	}
+	sorted := SortValues(append([]value.Value(nil), vs...))
+	cuts := make([]value.Value, 0, n-1)
+	for i := 1; i < n; i++ {
+		idx := i * len(sorted) / n
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		cuts = append(cuts, sorted[idx])
+	}
+	return cuts
+}
+
+// MedianCuts computes the cut points for `levels` levels of recursive
+// median splitting (2^levels partitions), exactly as two-phase
+// partitioning injects the join attribute: the root cut is the median of
+// the whole sorted sample, the next level the medians of each half, and
+// so on. The result is indexed by level: cuts[0] has 1 value, cuts[1] has
+// 2, ..., cuts[levels-1] has 2^(levels-1).
+func MedianCuts(vs []value.Value, levels int) [][]value.Value {
+	if levels <= 0 || len(vs) == 0 {
+		return nil
+	}
+	sorted := SortValues(append([]value.Value(nil), vs...))
+	cuts := make([][]value.Value, levels)
+	// Segment boundaries per level, as index intervals over sorted.
+	type seg struct{ lo, hi int } // [lo, hi)
+	segs := []seg{{0, len(sorted)}}
+	for l := 0; l < levels; l++ {
+		next := make([]seg, 0, len(segs)*2)
+		cuts[l] = make([]value.Value, 0, len(segs))
+		for _, s := range segs {
+			mid := s.lo + (s.hi-s.lo)/2
+			if mid <= s.lo {
+				mid = s.lo // degenerate segment: reuse lo
+			}
+			idx := mid
+			if idx >= len(sorted) {
+				idx = len(sorted) - 1
+			}
+			// Cut at the element just below the midpoint, so "≤ cut goes
+			// left" produces balanced halves.
+			cutIdx := idx - 1
+			if cutIdx < s.lo {
+				cutIdx = s.lo
+			}
+			cuts[l] = append(cuts[l], sorted[cutIdx])
+			next = append(next, seg{s.lo, mid}, seg{mid, s.hi})
+		}
+		segs = next
+	}
+	return cuts
+}

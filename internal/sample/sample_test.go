@@ -1,0 +1,172 @@
+package sample
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+func intRow(v int64) tuple.Tuple { return tuple.Tuple{value.NewInt(v)} }
+
+func TestReservoirBounded(t *testing.T) {
+	r := NewReservoir(10, 1)
+	for i := int64(0); i < 1000; i++ {
+		r.Observe(intRow(i))
+	}
+	if len(r.Sample()) != 10 {
+		t.Fatalf("sample size %d, want 10", len(r.Sample()))
+	}
+	if r.Seen() != 1000 {
+		t.Fatalf("seen %d, want 1000", r.Seen())
+	}
+}
+
+func TestReservoirSmallInput(t *testing.T) {
+	r := NewReservoir(10, 1)
+	for i := int64(0); i < 4; i++ {
+		r.Observe(intRow(i))
+	}
+	if len(r.Sample()) != 4 {
+		t.Fatalf("sample size %d, want all 4", len(r.Sample()))
+	}
+}
+
+func TestReservoirZeroK(t *testing.T) {
+	r := NewReservoir(0, 1)
+	r.Observe(intRow(1))
+	if len(r.Sample()) != 1 {
+		t.Fatalf("k<=0 should clamp to 1")
+	}
+}
+
+func TestReservoirApproxUniform(t *testing.T) {
+	// Each of 100 items should land in a k=50 sample about half the time.
+	const trials = 400
+	counts := make([]int, 100)
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(50, int64(trial))
+		for i := int64(0); i < 100; i++ {
+			r.Observe(intRow(i))
+		}
+		for _, tp := range r.Sample() {
+			counts[tp[0].Int64()]++
+		}
+	}
+	for i, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.3 || frac > 0.7 {
+			t.Errorf("item %d selected with frequency %.2f, want ≈0.5", i, frac)
+		}
+	}
+}
+
+func TestColumn(t *testing.T) {
+	rows := []tuple.Tuple{intRow(3), intRow(1), {value.Value{}}, intRow(2)}
+	vs := Column(rows, 0)
+	if len(vs) != 3 {
+		t.Fatalf("Column kept %d values, want 3 (nulls dropped)", len(vs))
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if _, ok := Median(nil); ok {
+		t.Errorf("median of empty should report !ok")
+	}
+	vs := []value.Value{value.NewInt(5), value.NewInt(1), value.NewInt(9)}
+	m, ok := Median(vs)
+	if !ok || m.Int64() != 5 {
+		t.Errorf("median = %v, want 5", m)
+	}
+	vs4 := []value.Value{value.NewInt(1), value.NewInt(2), value.NewInt(3), value.NewInt(4)}
+	m, _ = Median(vs4)
+	if m.Int64() != 2 {
+		t.Errorf("lower median of 1..4 = %v, want 2", m)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var vs []value.Value
+	for i := int64(0); i < 100; i++ {
+		vs = append(vs, value.NewInt(i))
+	}
+	cuts := Quantiles(vs, 4)
+	if len(cuts) != 3 {
+		t.Fatalf("got %d cuts, want 3", len(cuts))
+	}
+	if cuts[0].Int64() != 25 || cuts[1].Int64() != 50 || cuts[2].Int64() != 75 {
+		t.Errorf("quartiles = %v", cuts)
+	}
+	if Quantiles(vs, 1) != nil || Quantiles(nil, 4) != nil {
+		t.Errorf("degenerate quantiles should be nil")
+	}
+}
+
+func TestMedianCutsBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var vs []value.Value
+	for i := 0; i < 1024; i++ {
+		vs = append(vs, value.NewInt(rng.Int63n(1<<30)))
+	}
+	levels := 3
+	cuts := MedianCuts(vs, levels)
+	if len(cuts) != levels {
+		t.Fatalf("levels = %d, want %d", len(cuts), levels)
+	}
+	for l, row := range cuts {
+		if len(row) != 1<<l {
+			t.Fatalf("level %d has %d cuts, want %d", l, len(row), 1<<l)
+		}
+	}
+	// Route every sampled value through the implied 3-level tree and check
+	// the 8 partitions are roughly balanced (the point of median splits —
+	// §5.1 "medians help avoid this skew").
+	counts := make([]int, 8)
+	for _, v := range vs {
+		idx := 0
+		for l := 0; l < levels; l++ {
+			cut := cuts[l][idx]
+			idx <<= 1
+			if value.Compare(v, cut) > 0 {
+				idx |= 1
+			}
+		}
+		counts[idx]++
+	}
+	want := len(vs) / 8
+	for p, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("partition %d has %d values, want ≈%d", p, c, want)
+		}
+	}
+}
+
+func TestMedianCutsMonotoneWithinLevel(t *testing.T) {
+	var vs []value.Value
+	for i := int64(0); i < 256; i++ {
+		vs = append(vs, value.NewInt(i))
+	}
+	cuts := MedianCuts(vs, 4)
+	for l, row := range cuts {
+		if !sort.SliceIsSorted(row, func(i, j int) bool { return value.Less(row[i], row[j]) }) {
+			t.Errorf("level %d cuts not monotone: %v", l, row)
+		}
+	}
+}
+
+func TestMedianCutsDegenerate(t *testing.T) {
+	if MedianCuts(nil, 3) != nil {
+		t.Errorf("no values should produce nil cuts")
+	}
+	if MedianCuts([]value.Value{value.NewInt(1)}, 0) != nil {
+		t.Errorf("zero levels should produce nil cuts")
+	}
+	// A single repeated value must still produce structurally valid cuts.
+	vs := []value.Value{value.NewInt(7), value.NewInt(7), value.NewInt(7)}
+	cuts := MedianCuts(vs, 2)
+	if len(cuts) != 2 || len(cuts[0]) != 1 || len(cuts[1]) != 2 {
+		t.Fatalf("degenerate cuts malformed: %v", cuts)
+	}
+}

@@ -1,0 +1,170 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+// Dataset holds generated TPC-H tables as row slices.
+type Dataset struct {
+	SF       float64
+	Lineitem []tuple.Tuple
+	Orders   []tuple.Tuple
+	Customer []tuple.Tuple
+	Part     []tuple.Tuple
+	Supplier []tuple.Tuple
+	Nation   []tuple.Tuple
+	Region   []tuple.Tuple
+}
+
+// Counts returns the per-table row counts for a scale factor, mirroring
+// dbgen's SF-1 cardinalities (lineitem ≈ 6M, orders 1.5M, customer 150k,
+// part 200k, supplier 10k), with small floors so micro scale factors stay
+// usable.
+func Counts(sf float64) (lineitem, orders, customer, part, supplier int) {
+	scale := func(base int, floor int) int {
+		n := int(float64(base) * sf)
+		if n < floor {
+			n = floor
+		}
+		return n
+	}
+	orders = scale(1_500_000, 100)
+	lineitem = orders * 4 // filled precisely during generation (1..7 lines per order)
+	customer = scale(150_000, 30)
+	part = scale(200_000, 40)
+	supplier = scale(10_000, 10)
+	return
+}
+
+// Generate builds a deterministic dataset for the scale factor and seed.
+func Generate(sf float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	_, numOrders, numCust, numPart, numSupp := Counts(sf)
+
+	d := &Dataset{SF: sf}
+
+	// Region and nation are fixed-size dimension tables.
+	for r := 0; r < NumRegions; r++ {
+		d.Region = append(d.Region, tuple.Tuple{value.NewInt(int64(r))})
+	}
+	for n := 0; n < NumNations; n++ {
+		d.Nation = append(d.Nation, tuple.Tuple{
+			value.NewInt(int64(n)),
+			value.NewInt(int64(n % NumRegions)),
+		})
+	}
+
+	// Customer.
+	for c := 1; c <= numCust; c++ {
+		d.Customer = append(d.Customer, tuple.Tuple{
+			value.NewInt(int64(c)),
+			value.NewInt(rng.Int63n(NumNations)),
+			value.NewFloat(float64(rng.Intn(999999))/100 - 999.99),
+			value.NewString(Segments[rng.Intn(len(Segments))]),
+		})
+	}
+
+	// Part.
+	for p := 1; p <= numPart; p++ {
+		brand := fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5))
+		ptype := TypeSyllable1[rng.Intn(len(TypeSyllable1))] + " " +
+			TypeSyllable2[rng.Intn(len(TypeSyllable2))] + " " +
+			TypeSyllable3[rng.Intn(len(TypeSyllable3))]
+		d.Part = append(d.Part, tuple.Tuple{
+			value.NewInt(int64(p)),
+			value.NewString(brand),
+			value.NewString(ptype),
+			value.NewInt(1 + rng.Int63n(50)),
+			value.NewString(Containers[rng.Intn(len(Containers))]),
+			value.NewFloat(900 + float64(p%1000)/10),
+		})
+	}
+
+	// Supplier.
+	for s := 1; s <= numSupp; s++ {
+		d.Supplier = append(d.Supplier, tuple.Tuple{
+			value.NewInt(int64(s)),
+			value.NewInt(rng.Int63n(NumNations)),
+			value.NewFloat(float64(rng.Intn(999999))/100 - 999.99),
+		})
+	}
+
+	// Orders and lineitem. Orderdates leave dbgen's 151-day tail so every
+	// lineitem date fits the domain.
+	dateSpan := EndDate - StartDate - 151
+	for o := 1; o <= numOrders; o++ {
+		orderDate := StartDate + rng.Int63n(dateSpan)
+		custKey := 1 + rng.Int63n(int64(numCust))
+		status := "O"
+		if rng.Intn(2) == 0 {
+			status = "F"
+		}
+		nLines := 1 + rng.Intn(7)
+		total := 0.0
+		for ln := 1; ln <= nLines; ln++ {
+			partKey := 1 + rng.Int63n(int64(numPart))
+			suppKey := 1 + rng.Int63n(int64(numSupp))
+			qty := float64(1 + rng.Intn(50))
+			price := qty * (900 + float64(partKey%1000)/10) / 10
+			discount := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			shipDate := orderDate + 1 + rng.Int63n(121)
+			commitDate := orderDate + 30 + rng.Int63n(61)
+			receiptDate := shipDate + 1 + rng.Int63n(30)
+			returnFlag := "N"
+			if rng.Intn(4) == 0 {
+				if rng.Intn(2) == 0 {
+					returnFlag = "R"
+				} else {
+					returnFlag = "A"
+				}
+			}
+			lineStatus := LineStatuses[rng.Intn(len(LineStatuses))]
+			d.Lineitem = append(d.Lineitem, tuple.Tuple{
+				value.NewInt(int64(o)),
+				value.NewInt(partKey),
+				value.NewInt(suppKey),
+				value.NewInt(int64(ln)),
+				value.NewFloat(qty),
+				value.NewFloat(price),
+				value.NewFloat(discount),
+				value.NewFloat(tax),
+				value.NewString(returnFlag),
+				value.NewString(lineStatus),
+				value.NewDate(shipDate),
+				value.NewDate(commitDate),
+				value.NewDate(receiptDate),
+				value.NewString(ShipInstructs[rng.Intn(len(ShipInstructs))]),
+				value.NewString(ShipModes[rng.Intn(len(ShipModes))]),
+			})
+			total += price * (1 - discount) * (1 + tax)
+		}
+		d.Orders = append(d.Orders, tuple.Tuple{
+			value.NewInt(int64(o)),
+			value.NewInt(custKey),
+			value.NewString(status),
+			value.NewFloat(total),
+			value.NewDate(orderDate),
+			value.NewString(Priorities[rng.Intn(len(Priorities))]),
+			value.NewInt(0),
+		})
+	}
+	return d
+}
+
+// NationsOfRegion returns the nation keys belonging to a region —
+// the pre-join of nation ⋈ region that q5/q8 templates fold into IN
+// predicates on c_nationkey / s_nationkey.
+func (d *Dataset) NationsOfRegion(region int64) []int64 {
+	var out []int64
+	for _, n := range d.Nation {
+		if n[NRegionKey].Int64() == region {
+			out = append(out, n[NNationKey].Int64())
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package tpch is a deterministic, dbgen-shaped generator for the TPC-H
+// tables and the eight query templates the paper evaluates (q3, q5, q6,
+// q8, q10, q12, q14, q19 — §7.1). Scale is a continuous factor: SF 1
+// corresponds to the standard 6M-row lineitem; experiments here run at
+// micro scale factors, which preserves selectivities, join fan-out and
+// the relative block counts the cost model depends on.
+package tpch
+
+import (
+	"adaptdb/internal/schema"
+	"adaptdb/internal/value"
+)
+
+// Lineitem column indexes.
+const (
+	LOrderKey = iota
+	LPartKey
+	LSuppKey
+	LLineNumber
+	LQuantity
+	LExtendedPrice
+	LDiscount
+	LTax
+	LReturnFlag
+	LLineStatus
+	LShipDate
+	LCommitDate
+	LReceiptDate
+	LShipInstruct
+	LShipMode
+)
+
+// Orders column indexes.
+const (
+	OOrderKey = iota
+	OCustKey
+	OOrderStatus
+	OTotalPrice
+	OOrderDate
+	OOrderPriority
+	OShipPriority
+)
+
+// Customer column indexes.
+const (
+	CCustKey = iota
+	CNationKey
+	CAcctBal
+	CMktSegment
+)
+
+// Part column indexes.
+const (
+	PPartKey = iota
+	PBrand
+	PType
+	PSize
+	PContainer
+	PRetailPrice
+)
+
+// Supplier column indexes.
+const (
+	SSuppKey = iota
+	SNationKey
+	SAcctBal
+)
+
+// Nation column indexes.
+const (
+	NNationKey = iota
+	NRegionKey
+)
+
+// Region column indexes.
+const (
+	RRegionKey = iota
+)
+
+// Schemas for the seven tables.
+var (
+	LineitemSchema = schema.MustNew(
+		schema.Column{Name: "l_orderkey", Kind: value.Int},
+		schema.Column{Name: "l_partkey", Kind: value.Int},
+		schema.Column{Name: "l_suppkey", Kind: value.Int},
+		schema.Column{Name: "l_linenumber", Kind: value.Int},
+		schema.Column{Name: "l_quantity", Kind: value.Float},
+		schema.Column{Name: "l_extendedprice", Kind: value.Float},
+		schema.Column{Name: "l_discount", Kind: value.Float},
+		schema.Column{Name: "l_tax", Kind: value.Float},
+		schema.Column{Name: "l_returnflag", Kind: value.String},
+		schema.Column{Name: "l_linestatus", Kind: value.String},
+		schema.Column{Name: "l_shipdate", Kind: value.Date},
+		schema.Column{Name: "l_commitdate", Kind: value.Date},
+		schema.Column{Name: "l_receiptdate", Kind: value.Date},
+		schema.Column{Name: "l_shipinstruct", Kind: value.String},
+		schema.Column{Name: "l_shipmode", Kind: value.String},
+	)
+	OrdersSchema = schema.MustNew(
+		schema.Column{Name: "o_orderkey", Kind: value.Int},
+		schema.Column{Name: "o_custkey", Kind: value.Int},
+		schema.Column{Name: "o_orderstatus", Kind: value.String},
+		schema.Column{Name: "o_totalprice", Kind: value.Float},
+		schema.Column{Name: "o_orderdate", Kind: value.Date},
+		schema.Column{Name: "o_orderpriority", Kind: value.String},
+		schema.Column{Name: "o_shippriority", Kind: value.Int},
+	)
+	CustomerSchema = schema.MustNew(
+		schema.Column{Name: "c_custkey", Kind: value.Int},
+		schema.Column{Name: "c_nationkey", Kind: value.Int},
+		schema.Column{Name: "c_acctbal", Kind: value.Float},
+		schema.Column{Name: "c_mktsegment", Kind: value.String},
+	)
+	PartSchema = schema.MustNew(
+		schema.Column{Name: "p_partkey", Kind: value.Int},
+		schema.Column{Name: "p_brand", Kind: value.String},
+		schema.Column{Name: "p_type", Kind: value.String},
+		schema.Column{Name: "p_size", Kind: value.Int},
+		schema.Column{Name: "p_container", Kind: value.String},
+		schema.Column{Name: "p_retailprice", Kind: value.Float},
+	)
+	SupplierSchema = schema.MustNew(
+		schema.Column{Name: "s_suppkey", Kind: value.Int},
+		schema.Column{Name: "s_nationkey", Kind: value.Int},
+		schema.Column{Name: "s_acctbal", Kind: value.Float},
+	)
+	NationSchema = schema.MustNew(
+		schema.Column{Name: "n_nationkey", Kind: value.Int},
+		schema.Column{Name: "n_regionkey", Kind: value.Int},
+	)
+	RegionSchema = schema.MustNew(
+		schema.Column{Name: "r_regionkey", Kind: value.Int},
+	)
+)
+
+// Domain vocabularies, following dbgen's value sets.
+var (
+	Segments      = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	ReturnFlags   = []string{"R", "A", "N"}
+	LineStatuses  = []string{"O", "F"}
+	ShipModes     = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	ShipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	Containers    = []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "MED PKG", "MED PACK", "LG CASE", "LG BOX", "LG PACK", "LG PKG"}
+	TypeSyllable1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	TypeSyllable2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	TypeSyllable3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	Priorities    = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+)
+
+// NumNations and NumRegions follow TPC-H (25 nations over 5 regions).
+const (
+	NumNations = 25
+	NumRegions = 5
+)
+
+// Date domain: orderdates span [StartDate, EndDate - 151 days] like
+// dbgen; ship/commit/receipt dates trail the orderdate.
+var (
+	StartDate = value.DateOf(1992, 1, 1).Int64()
+	EndDate   = value.DateOf(1998, 8, 2).Int64()
+)

@@ -1,0 +1,313 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptdb/internal/block"
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/schema"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+var sch = schema.MustNew(
+	schema.Column{Name: "a", Kind: value.Int},
+	schema.Column{Name: "b", Kind: value.Int},
+	schema.Column{Name: "c", Kind: value.Int},
+)
+
+// figure3Tree builds the paper's Figure 3(a) shape: root on A, then B|C,
+// with 8 leaves 0..7.
+func figure3Tree() *Tree {
+	leaf := func(b block.ID) *Node { return &Node{Leaf: true, Bucket: b} }
+	iv := func(i int64) value.Value { return value.NewInt(i) }
+	root := &Node{
+		Attr: 0, Cut: iv(50),
+		Left: &Node{
+			Attr: 1, Cut: iv(30),
+			Left:  &Node{Attr: 2, Cut: iv(10), Left: leaf(0), Right: leaf(1)},
+			Right: &Node{Attr: 2, Cut: iv(10), Left: leaf(2), Right: leaf(3)},
+		},
+		Right: &Node{
+			Attr: 1, Cut: iv(70),
+			Left:  &Node{Attr: 2, Cut: iv(10), Left: leaf(4), Right: leaf(5)},
+			Right: &Node{Attr: 2, Cut: iv(10), Left: leaf(6), Right: leaf(7)},
+		},
+	}
+	return NewWithRoot(sch, root, -1, 0)
+}
+
+func row(a, b, c int64) tuple.Tuple {
+	return tuple.Tuple{value.NewInt(a), value.NewInt(b), value.NewInt(c)}
+}
+
+func TestNewLeaf(t *testing.T) {
+	tr := NewLeaf(sch)
+	if tr.NumBuckets() != 1 || tr.Depth() != 0 {
+		t.Fatalf("leaf tree: buckets=%d depth=%d", tr.NumBuckets(), tr.Depth())
+	}
+	if got := tr.Route(row(1, 2, 3)); got != 0 {
+		t.Errorf("Route = %d, want 0", got)
+	}
+	if tr.NextBucket() != 1 {
+		t.Errorf("NextBucket = %d, want 1", tr.NextBucket())
+	}
+}
+
+func TestRoute(t *testing.T) {
+	tr := figure3Tree()
+	cases := []struct {
+		tp   tuple.Tuple
+		want block.ID
+	}{
+		{row(10, 10, 5), 0},  // a≤50, b≤30, c≤10
+		{row(10, 10, 50), 1}, // a≤50, b≤30, c>10
+		{row(10, 40, 5), 2},
+		{row(10, 40, 50), 3},
+		{row(90, 60, 5), 4},
+		{row(90, 60, 50), 5},
+		{row(90, 80, 5), 6},
+		{row(90, 80, 50), 7},
+		{row(50, 30, 10), 0}, // boundary: ≤ goes left everywhere
+	}
+	for _, c := range cases {
+		if got := tr.Route(c.tp); got != c.want {
+			t.Errorf("Route(%v) = %d, want %d", c.tp, got, c.want)
+		}
+	}
+}
+
+func TestBucketsAndDepth(t *testing.T) {
+	tr := figure3Tree()
+	bs := tr.Buckets()
+	if len(bs) != 8 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	for i, b := range bs {
+		if b != block.ID(i) {
+			t.Fatalf("buckets not dense/sorted: %v", bs)
+		}
+	}
+	if tr.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", tr.Depth())
+	}
+	if tr.NumBuckets() != 8 {
+		t.Errorf("NumBuckets = %d", tr.NumBuckets())
+	}
+	if tr.NextBucket() != 8 {
+		t.Errorf("NextBucket = %d, want 8", tr.NextBucket())
+	}
+}
+
+func TestLookupPrunes(t *testing.T) {
+	tr := figure3Tree()
+	// a > 50 keeps only the right half (buckets 4..7): skips 50% as §3.1 says.
+	got := tr.Lookup([]predicate.Predicate{predicate.NewCmp(0, predicate.GT, value.NewInt(50))})
+	if len(got) != 4 || got[0] != 4 || got[3] != 7 {
+		t.Errorf("Lookup(a>50) = %v", got)
+	}
+	// a ≤ 50 AND b ≤ 30: buckets 0,1.
+	got = tr.Lookup([]predicate.Predicate{
+		predicate.NewCmp(0, predicate.LE, value.NewInt(50)),
+		predicate.NewCmp(1, predicate.LE, value.NewInt(30)),
+	})
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Lookup(a<=50,b<=30) = %v", got)
+	}
+	// No predicates: everything.
+	if got = tr.Lookup(nil); len(got) != 8 {
+		t.Errorf("Lookup(nil) = %v", got)
+	}
+	// Point query routes to exactly one bucket per attribute chain.
+	got = tr.Lookup([]predicate.Predicate{
+		predicate.NewCmp(0, predicate.EQ, value.NewInt(10)),
+		predicate.NewCmp(1, predicate.EQ, value.NewInt(10)),
+		predicate.NewCmp(2, predicate.EQ, value.NewInt(5)),
+	})
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("point lookup = %v", got)
+	}
+}
+
+// Property: Lookup is sound — the bucket Route() assigns to a tuple
+// always appears in Lookup(preds) whenever the tuple matches preds.
+func TestLookupSoundQuick(t *testing.T) {
+	tr := figure3Tree()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := row(rng.Int63n(100), rng.Int63n(100), rng.Int63n(60))
+		ops := []predicate.Op{predicate.EQ, predicate.LT, predicate.LE, predicate.GT, predicate.GE}
+		var preds []predicate.Predicate
+		for i := 0; i < rng.Intn(4); i++ {
+			preds = append(preds, predicate.NewCmp(rng.Intn(3), ops[rng.Intn(len(ops))], value.NewInt(rng.Int63n(100))))
+		}
+		if !predicate.MatchesAll(preds, tp) {
+			return true
+		}
+		want := tr.Route(tp)
+		for _, b := range tr.Lookup(preds) {
+			if b == want {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathRange(t *testing.T) {
+	tr := figure3Tree()
+	pr := tr.PathRange()
+	if len(pr) != 8 {
+		t.Fatalf("PathRange has %d buckets", len(pr))
+	}
+	// Bucket 0: a ≤ 50, b ≤ 30, c ≤ 10.
+	b0 := pr[0]
+	if !b0[0].Contains(value.NewInt(50)) || b0[0].Contains(value.NewInt(51)) {
+		t.Errorf("bucket 0 range for a wrong: %v", b0[0])
+	}
+	if !b0[1].Contains(value.NewInt(30)) || b0[1].Contains(value.NewInt(31)) {
+		t.Errorf("bucket 0 range for b wrong: %v", b0[1])
+	}
+	// Bucket 7: a > 50, b > 70, c > 10.
+	b7 := pr[7]
+	if b7[0].Contains(value.NewInt(50)) || !b7[0].Contains(value.NewInt(51)) {
+		t.Errorf("bucket 7 range for a wrong: %v", b7[0])
+	}
+	if b7[2].Contains(value.NewInt(10)) || !b7[2].Contains(value.NewInt(11)) {
+		t.Errorf("bucket 7 range for c wrong: %v", b7[2])
+	}
+}
+
+// Property: a tuple's routed bucket's path ranges always contain the
+// tuple's attribute values.
+func TestPathRangeConsistentWithRouteQuick(t *testing.T) {
+	tr := figure3Tree()
+	pr := tr.PathRange()
+	f := func(a, b, c int16) bool {
+		tp := row(int64(a), int64(b), int64(c))
+		bucket := tr.Route(tp)
+		for col, r := range pr[bucket] {
+			if !r.Contains(tp[col]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitLeaf(t *testing.T) {
+	tr := NewLeaf(sch)
+	right, err := tr.SplitLeaf(0, 1, value.NewInt(10))
+	if err != nil {
+		t.Fatalf("SplitLeaf: %v", err)
+	}
+	if right != 1 {
+		t.Errorf("new bucket = %d, want 1", right)
+	}
+	if tr.NumBuckets() != 2 || tr.Depth() != 1 {
+		t.Errorf("after split: buckets=%d depth=%d", tr.NumBuckets(), tr.Depth())
+	}
+	if got := tr.Route(row(0, 5, 0)); got != 0 {
+		t.Errorf("b<=10 should stay in bucket 0, got %d", got)
+	}
+	if got := tr.Route(row(0, 50, 0)); got != 1 {
+		t.Errorf("b>10 should route to bucket 1, got %d", got)
+	}
+	if _, err := tr.SplitLeaf(99, 0, value.NewInt(0)); err == nil {
+		t.Errorf("splitting unknown bucket should fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := figure3Tree()
+	cl := tr.Clone()
+	if _, err := cl.SplitLeaf(0, 2, value.NewInt(5)); err != nil {
+		t.Fatalf("SplitLeaf on clone: %v", err)
+	}
+	if tr.NumBuckets() != 8 {
+		t.Errorf("mutating clone changed original")
+	}
+	if cl.NumBuckets() != 9 {
+		t.Errorf("clone split failed")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tr := figure3Tree()
+	tr.JoinAttr = 1
+	tr.JoinLevels = 2
+	buf := tr.AppendBinary(nil)
+	got, err := Decode(buf, sch)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.JoinAttr != 1 || got.JoinLevels != 2 {
+		t.Errorf("header lost: %+v", got)
+	}
+	if got.NextBucket() != tr.NextBucket() {
+		t.Errorf("nextBucket lost")
+	}
+	if got.String() != tr.String() {
+		t.Errorf("structure changed:\n got %s\nwant %s", got.String(), tr.String())
+	}
+	// Routing behaviour identical.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		tp := row(rng.Int63n(100), rng.Int63n(100), rng.Int63n(60))
+		if got.Route(tp) != tr.Route(tp) {
+			t.Fatalf("decoded tree routes differently for %v", tp)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil, sch); err == nil {
+		t.Errorf("empty input accepted")
+	}
+	tr := figure3Tree()
+	buf := tr.AppendBinary(nil)
+	if _, err := Decode(buf[:len(buf)-1], sch); err == nil {
+		t.Errorf("truncated tree accepted")
+	}
+	if _, err := Decode(append(buf, 0), sch); err == nil {
+		t.Errorf("trailing bytes accepted")
+	}
+}
+
+func TestAttrLevels(t *testing.T) {
+	tr := figure3Tree()
+	al := tr.AttrLevels()
+	if al[0] != 1 || al[1] != 2 || al[2] != 4 {
+		t.Errorf("AttrLevels = %v, want map[0:1 1:2 2:4]", al)
+	}
+}
+
+func TestFindLeaf(t *testing.T) {
+	tr := figure3Tree()
+	if n := tr.FindLeaf(3); n == nil || !n.Leaf || n.Bucket != 3 {
+		t.Errorf("FindLeaf(3) = %+v", n)
+	}
+	if tr.FindLeaf(42) != nil {
+		t.Errorf("FindLeaf(42) should be nil")
+	}
+}
+
+func TestString(t *testing.T) {
+	tr := NewLeaf(sch)
+	if tr.String() != "b0" {
+		t.Errorf("leaf String = %q", tr.String())
+	}
+	tr.SplitLeaf(0, 0, value.NewInt(5))
+	want := "(a<=5 b0 b1)"
+	if tr.String() != want {
+		t.Errorf("String = %q, want %q", tr.String(), want)
+	}
+}

@@ -1,0 +1,69 @@
+package twophase
+
+import (
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/workload"
+)
+
+// SuggestJoinLevels implements the extension §7.4 sketches as future
+// work: "a future exploration of adapting the number of join levels in
+// the tree could be worthwhile for some non-selective workloads".
+//
+// The observation behind Fig. 16: when queries carry selective
+// predicates, reserving about half the levels for the join attribute
+// minimizes blocks read; when they carry none (Fig. 16(b)), every level
+// spent on selection attributes is wasted and the join attribute should
+// take them all. SuggestJoinLevels interpolates between those extremes
+// using the query window: it measures how many distinct predicate
+// columns the recent workload actually filters on, and returns
+//
+//	joinLevels = depth − min(predicateColumns, depth/2)
+//
+// so a predicate-free window yields all-join trees, and a predicate-rich
+// window converges to the paper's half-and-half default.
+func SuggestJoinLevels(w *workload.Window, depth int) int {
+	if depth <= 0 {
+		return 0
+	}
+	half := depth / 2
+	if half < 1 {
+		half = 1
+	}
+	if w == nil || w.Len() == 0 {
+		return half
+	}
+	distinct := 0
+	for col, n := range w.PredColumns() {
+		_ = col
+		// Only count columns that appear in a non-trivial fraction of the
+		// window; one-off predicates should not cost join levels.
+		if n*4 >= w.Len() {
+			distinct++
+		}
+	}
+	sel := distinct
+	if sel > half {
+		sel = half
+	}
+	return depth - sel
+}
+
+// WindowSelectivity estimates the fraction of a table a window's
+// predicate profile retains, given per-column selectivity estimates. It
+// exists for diagnostics and tests: SuggestJoinLevels deliberately uses
+// only the column *count*, because per-column selectivities require
+// statistics the storage manager may not have.
+func WindowSelectivity(w *workload.Window, colSel func(col int, r predicate.Range) float64) float64 {
+	if w == nil || w.Len() == 0 {
+		return 1.0
+	}
+	total := 0.0
+	for _, q := range w.Queries() {
+		s := 1.0
+		for col, r := range predicate.ColumnRanges(q.Preds) {
+			s *= colSel(col, r)
+		}
+		total += s
+	}
+	return total / float64(w.Len())
+}

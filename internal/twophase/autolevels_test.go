@@ -1,0 +1,93 @@
+package twophase
+
+import (
+	"testing"
+
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/value"
+	"adaptdb/internal/workload"
+)
+
+func predQ(cols ...int) workload.Query {
+	var ps []predicate.Predicate
+	for _, c := range cols {
+		ps = append(ps, predicate.NewCmp(c, predicate.LT, value.NewInt(10)))
+	}
+	return workload.Query{JoinAttr: 0, Preds: ps}
+}
+
+func TestSuggestJoinLevelsNoPredicates(t *testing.T) {
+	// Fig. 16(b): a predicate-free workload should take every level for
+	// the join attribute.
+	w := workload.NewWindow(10)
+	for i := 0; i < 10; i++ {
+		w.Add(predQ())
+	}
+	if got := SuggestJoinLevels(w, 8); got != 8 {
+		t.Errorf("predicate-free window: %d levels, want all 8", got)
+	}
+}
+
+func TestSuggestJoinLevelsSelectiveWorkload(t *testing.T) {
+	// Fig. 16(a): a workload filtering on several columns should keep the
+	// half-and-half default.
+	w := workload.NewWindow(10)
+	for i := 0; i < 10; i++ {
+		w.Add(predQ(1, 2, 3, 4, 5))
+	}
+	if got := SuggestJoinLevels(w, 8); got != 4 {
+		t.Errorf("selective window: %d levels, want half (4)", got)
+	}
+}
+
+func TestSuggestJoinLevelsInterpolates(t *testing.T) {
+	w := workload.NewWindow(10)
+	for i := 0; i < 10; i++ {
+		w.Add(predQ(1)) // one steady predicate column
+	}
+	if got := SuggestJoinLevels(w, 8); got != 7 {
+		t.Errorf("one predicate column: %d levels, want 7", got)
+	}
+}
+
+func TestSuggestJoinLevelsIgnoresRarePredicates(t *testing.T) {
+	w := workload.NewWindow(10)
+	for i := 0; i < 9; i++ {
+		w.Add(predQ())
+	}
+	w.Add(predQ(1)) // a single one-off query filters on col 1
+	if got := SuggestJoinLevels(w, 8); got != 8 {
+		t.Errorf("rare predicate should not cost a level: got %d", got)
+	}
+}
+
+func TestSuggestJoinLevelsDefaults(t *testing.T) {
+	if got := SuggestJoinLevels(nil, 8); got != 4 {
+		t.Errorf("nil window: %d, want half", got)
+	}
+	if got := SuggestJoinLevels(workload.NewWindow(5), 8); got != 4 {
+		t.Errorf("empty window: %d, want half", got)
+	}
+	if got := SuggestJoinLevels(nil, 0); got != 0 {
+		t.Errorf("zero depth: %d, want 0", got)
+	}
+	if got := SuggestJoinLevels(nil, 1); got != 1 {
+		t.Errorf("depth 1: %d, want 1", got)
+	}
+}
+
+func TestWindowSelectivity(t *testing.T) {
+	w := workload.NewWindow(4)
+	w.Add(predQ())     // selectivity 1
+	w.Add(predQ(1))    // 0.5
+	w.Add(predQ(1, 2)) // 0.25
+	half := func(col int, r predicate.Range) float64 { return 0.5 }
+	got := WindowSelectivity(w, half)
+	want := (1.0 + 0.5 + 0.25) / 3
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("WindowSelectivity = %v, want %v", got, want)
+	}
+	if WindowSelectivity(nil, half) != 1.0 {
+		t.Errorf("nil window should be fully unselective")
+	}
+}

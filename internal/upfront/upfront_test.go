@@ -1,0 +1,197 @@
+package upfront
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/schema"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+var sch = schema.MustNew(
+	schema.Column{Name: "a", Kind: value.Int},
+	schema.Column{Name: "b", Kind: value.Int},
+	schema.Column{Name: "c", Kind: value.Int},
+	schema.Column{Name: "d", Kind: value.Int},
+)
+
+func genRows(n int, seed int64) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]tuple.Tuple, n)
+	for i := range rows {
+		rows[i] = tuple.Tuple{
+			value.NewInt(rng.Int63n(1000)),
+			value.NewInt(rng.Int63n(1000)),
+			value.NewInt(rng.Int63n(1000)),
+			value.NewInt(rng.Int63n(1000)),
+		}
+	}
+	return rows
+}
+
+func TestDepthForBlocks(t *testing.T) {
+	cases := []struct{ rows, per, want int }{
+		{100, 100, 0},
+		{100, 200, 0},
+		{200, 100, 1},
+		{300, 100, 2},
+		{1600, 100, 4},
+		{1000, 0, 0},
+	}
+	for _, c := range cases {
+		if got := DepthForBlocks(c.rows, c.per); got != c.want {
+			t.Errorf("DepthForBlocks(%d, %d) = %d, want %d", c.rows, c.per, got, c.want)
+		}
+	}
+}
+
+func TestBuildProducesBalancedTree(t *testing.T) {
+	rows := genRows(4096, 1)
+	tr := Builder{Schema: sch, Depth: 4, Seed: 7}.Build(rows)
+	if tr.NumBuckets() != 16 {
+		t.Fatalf("buckets = %d, want 16", tr.NumBuckets())
+	}
+	if tr.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4", tr.Depth())
+	}
+	if tr.JoinAttr != -1 {
+		t.Errorf("upfront tree should have no join attribute")
+	}
+	// Buckets should be roughly balanced thanks to median cuts.
+	parts := Partition(tr, rows)
+	want := len(rows) / 16
+	for b, blk := range parts {
+		if blk.Len() < want/3 || blk.Len() > want*3 {
+			t.Errorf("bucket %d has %d rows, want ≈%d", b, blk.Len(), want)
+		}
+	}
+}
+
+func TestHeterogeneousBranchingUsesAllAttributes(t *testing.T) {
+	rows := genRows(4096, 2)
+	// Depth 4 over 4 attributes: the balancing rule should give each
+	// attribute close to 15/4 splits.
+	tr := Builder{Schema: sch, Depth: 4, Seed: 3}.Build(rows)
+	levels := tr.AttrLevels()
+	if len(levels) != 4 {
+		t.Fatalf("attributes used = %v, want all 4", levels)
+	}
+	total := 0
+	for _, n := range levels {
+		total += n
+	}
+	if total != 15 { // 2^4 - 1 internal nodes
+		t.Fatalf("internal nodes = %d, want 15", total)
+	}
+	for a, n := range levels {
+		if n < 2 || n > 6 {
+			t.Errorf("attribute %d used %d times; balancing is off: %v", a, n, levels)
+		}
+	}
+}
+
+func TestBuildRestrictedAttrs(t *testing.T) {
+	rows := genRows(1024, 3)
+	tr := Builder{Schema: sch, Attrs: []int{1, 2}, Depth: 3, Seed: 1}.Build(rows)
+	for a := range tr.AttrLevels() {
+		if a != 1 && a != 2 {
+			t.Errorf("tree split on disallowed attribute %d", a)
+		}
+	}
+}
+
+func TestBuildDegenerateData(t *testing.T) {
+	// All rows identical: no attribute can split, tree must degrade to a
+	// single leaf rather than recursing forever.
+	rows := make([]tuple.Tuple, 100)
+	for i := range rows {
+		rows[i] = tuple.Tuple{value.NewInt(5), value.NewInt(5), value.NewInt(5), value.NewInt(5)}
+	}
+	tr := Builder{Schema: sch, Depth: 4, Seed: 1}.Build(rows)
+	if tr.NumBuckets() != 1 {
+		t.Fatalf("degenerate data should produce 1 bucket, got %d", tr.NumBuckets())
+	}
+}
+
+func TestBuildBinaryAttribute(t *testing.T) {
+	// A two-valued attribute can be split exactly once per path.
+	rows := make([]tuple.Tuple, 256)
+	rng := rand.New(rand.NewSource(9))
+	for i := range rows {
+		rows[i] = tuple.Tuple{
+			value.NewInt(rng.Int63n(2)),
+			value.NewInt(rng.Int63n(1000)),
+			value.NewInt(rng.Int63n(1000)),
+			value.NewInt(rng.Int63n(1000)),
+		}
+	}
+	tr := Builder{Schema: sch, Depth: 4, Seed: 1}.Build(rows)
+	// Still a full-ish tree because other attributes absorb the splits.
+	if tr.NumBuckets() < 8 {
+		t.Errorf("buckets = %d, want ≥ 8", tr.NumBuckets())
+	}
+}
+
+func TestPartitionRoutesEveryRow(t *testing.T) {
+	rows := genRows(2048, 4)
+	tr := Builder{Schema: sch, Depth: 3, Seed: 2}.Build(rows)
+	parts := Partition(tr, rows)
+	total := 0
+	for _, blk := range parts {
+		total += blk.Len()
+	}
+	if total != len(rows) {
+		t.Fatalf("partitioned %d rows, want %d", total, len(rows))
+	}
+	// Each block's rows must actually route to that bucket.
+	for b, blk := range parts {
+		for _, r := range blk.Tuples {
+			if tr.Route(r) != b {
+				t.Fatalf("row %v in bucket %d routes to %d", r, b, tr.Route(r))
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	rows := genRows(1024, 5)
+	t1 := Builder{Schema: sch, Depth: 3, Seed: 42}.Build(rows)
+	t2 := Builder{Schema: sch, Depth: 3, Seed: 42}.Build(rows)
+	if t1.String() != t2.String() {
+		t.Errorf("same seed produced different trees")
+	}
+}
+
+// Property: predicate lookup on a built tree is sound w.r.t. partitioned
+// data — every matching row lives in a looked-up bucket.
+func TestLookupSoundOnBuiltTreeQuick(t *testing.T) {
+	rows := genRows(2048, 6)
+	tr := Builder{Schema: sch, Depth: 4, Seed: 11}.Build(rows)
+	parts := Partition(tr, rows)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := []predicate.Op{predicate.EQ, predicate.LT, predicate.LE, predicate.GT, predicate.GE}
+		var preds []predicate.Predicate
+		for i := 0; i <= rng.Intn(3); i++ {
+			preds = append(preds, predicate.NewCmp(rng.Intn(4), ops[rng.Intn(len(ops))], value.NewInt(rng.Int63n(1000))))
+		}
+		hit := make(map[int32]bool)
+		for _, b := range tr.Lookup(preds) {
+			hit[int32(b)] = true
+		}
+		for b, blk := range parts {
+			for _, r := range blk.Tuples {
+				if predicate.MatchesAll(preds, r) && !hit[int32(b)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package value defines the typed scalar values stored in AdaptDB tuples.
+//
+// AdaptDB is a relational storage manager: every column has a fixed Kind
+// and every cell is a Value. Values support total ordering within a Kind
+// (needed for partitioning-tree cut points and zone maps) and a compact
+// binary encoding (needed to persist blocks in the distributed file
+// system simulator).
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported column kinds. Date is stored as days since 1970-01-01 so
+// range predicates over dates reduce to integer comparisons, matching how
+// the TPC-H templates issue date predicates.
+const (
+	Null Kind = iota
+	Int
+	Float
+	String
+	Date
+	Bool
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Date:
+		return "date"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is Null.
+//
+// Value is a small value type passed by copy throughout the system; it
+// deliberately has no pointers except the string header so blocks of
+// tuples stay cheap to scan.
+type Value struct {
+	K Kind
+	I int64   // Int, Date (days since epoch), Bool (0/1)
+	F float64 // Float
+	S string  // String
+}
+
+// NewInt returns an Int value.
+func NewInt(i int64) Value { return Value{K: Int, I: i} }
+
+// NewFloat returns a Float value.
+func NewFloat(f float64) Value { return Value{K: Float, F: f} }
+
+// NewString returns a String value.
+func NewString(s string) Value { return Value{K: String, S: s} }
+
+// NewBool returns a Bool value.
+func NewBool(b bool) Value {
+	v := Value{K: Bool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// NewDate returns a Date value for the given days-since-epoch ordinal.
+func NewDate(days int64) Value { return Value{K: Date, I: days} }
+
+// DateOf converts a calendar date to a Date value.
+func DateOf(year int, month time.Month, day int) Value {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return NewDate(t.Unix() / 86400)
+}
+
+// IsNull reports whether v is the Null value.
+func (v Value) IsNull() bool { return v.K == Null }
+
+// Int64 returns the integer payload (Int, Date and Bool kinds).
+func (v Value) Int64() int64 { return v.I }
+
+// Float64 returns the float payload, converting Int/Date if necessary.
+func (v Value) Float64() float64 {
+	switch v.K {
+	case Float:
+		return v.F
+	case Int, Date, Bool:
+		return float64(v.I)
+	default:
+		return math.NaN()
+	}
+}
+
+// Str returns the string payload.
+func (v Value) Str() string { return v.S }
+
+// Bool reports the boolean payload.
+func (v Value) Bool() bool { return v.I != 0 }
+
+// String renders the value for logs and debugging output.
+func (v Value) String() string {
+	switch v.K {
+	case Null:
+		return "NULL"
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case String:
+		return v.S
+	case Date:
+		t := time.Unix(v.I*86400, 0).UTC()
+		return t.Format("2006-01-02")
+	case Bool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("value(kind=%d)", uint8(v.K))
+	}
+}
+
+// Compare totally orders two values of the same Kind. Null sorts before
+// everything; comparing distinct non-null kinds orders by Kind so that
+// Compare remains a total order even on heterogeneous inputs (needed by
+// sort-based median computation over sampled columns).
+func Compare(a, b Value) int {
+	if a.K != b.K {
+		if a.K == Null {
+			return -1
+		}
+		if b.K == Null {
+			return 1
+		}
+		if a.K < b.K {
+			return -1
+		}
+		return 1
+	}
+	switch a.K {
+	case Null:
+		return 0
+	case Int, Date, Bool:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	case Float:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+		return 0
+	case String:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Less reports a < b under Compare.
+func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+// Equal reports a == b under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Min returns the smaller of a and b.
+func Min(a, b Value) Value {
+	if Compare(a, b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Value) Value {
+	if Compare(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// AppendBinary appends a self-describing encoding of v to dst and returns
+// the extended slice. The format is: 1 byte kind, then a kind-specific
+// payload (varint for Int/Date/Bool, 8-byte IEEE754 for Float, uvarint
+// length + bytes for String).
+func (v Value) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(v.K))
+	switch v.K {
+	case Null:
+	case Int, Date, Bool:
+		dst = binary.AppendVarint(dst, v.I)
+	case Float:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+		dst = append(dst, buf[:]...)
+	case String:
+		dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+		dst = append(dst, v.S...)
+	}
+	return dst
+}
+
+// DecodeValue decodes a value previously produced by AppendBinary and
+// returns it together with the number of bytes consumed.
+func DecodeValue(src []byte) (Value, int, error) {
+	if len(src) == 0 {
+		return Value{}, 0, fmt.Errorf("value: decode: empty input")
+	}
+	k := Kind(src[0])
+	pos := 1
+	switch k {
+	case Null:
+		return Value{}, pos, nil
+	case Int, Date, Bool:
+		i, n := binary.Varint(src[pos:])
+		if n <= 0 {
+			return Value{}, 0, fmt.Errorf("value: decode: bad varint for kind %v", k)
+		}
+		return Value{K: k, I: i}, pos + n, nil
+	case Float:
+		if len(src) < pos+8 {
+			return Value{}, 0, fmt.Errorf("value: decode: short float payload")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(src[pos:]))
+		return Value{K: k, F: f}, pos + 8, nil
+	case String:
+		l, n := binary.Uvarint(src[pos:])
+		if n <= 0 {
+			return Value{}, 0, fmt.Errorf("value: decode: bad string length")
+		}
+		pos += n
+		if uint64(len(src)-pos) < l {
+			return Value{}, 0, fmt.Errorf("value: decode: short string payload (want %d have %d)", l, len(src)-pos)
+		}
+		return Value{K: k, S: string(src[pos : pos+int(l)])}, pos + int(l), nil
+	default:
+		return Value{}, 0, fmt.Errorf("value: decode: unknown kind %d", src[0])
+	}
+}

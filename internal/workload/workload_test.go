@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/value"
+)
+
+func q(join int, cols ...int) Query {
+	var preds []predicate.Predicate
+	for _, c := range cols {
+		preds = append(preds, predicate.NewCmp(c, predicate.GT, value.NewInt(0)))
+	}
+	return Query{JoinAttr: join, Preds: preds}
+}
+
+func TestWindowFIFOEviction(t *testing.T) {
+	w := NewWindow(3)
+	for i := 0; i < 5; i++ {
+		w.Add(q(i))
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	qs := w.Queries()
+	if qs[0].JoinAttr != 2 || qs[2].JoinAttr != 4 {
+		t.Errorf("eviction order wrong: %+v", qs)
+	}
+	if w.Cap() != 3 {
+		t.Errorf("Cap = %d", w.Cap())
+	}
+}
+
+func TestWindowMinCapacity(t *testing.T) {
+	w := NewWindow(0)
+	w.Add(q(1))
+	w.Add(q(2))
+	if w.Len() != 1 {
+		t.Errorf("capacity should clamp to 1, len = %d", w.Len())
+	}
+}
+
+func TestCountJoinAttr(t *testing.T) {
+	w := NewWindow(10)
+	w.Add(q(1))
+	w.Add(q(1))
+	w.Add(q(2))
+	w.Add(q(-1))
+	if w.CountJoinAttr(1) != 2 || w.CountJoinAttr(2) != 1 || w.CountJoinAttr(7) != 0 {
+		t.Errorf("counts wrong: %d %d %d", w.CountJoinAttr(1), w.CountJoinAttr(2), w.CountJoinAttr(7))
+	}
+}
+
+func TestJoinAttrs(t *testing.T) {
+	w := NewWindow(10)
+	w.Add(q(1))
+	w.Add(q(1))
+	w.Add(q(3))
+	w.Add(q(-1)) // no join: excluded
+	m := w.JoinAttrs()
+	if len(m) != 2 || m[1] != 2 || m[3] != 1 {
+		t.Errorf("JoinAttrs = %v", m)
+	}
+}
+
+func TestPredColumns(t *testing.T) {
+	w := NewWindow(10)
+	w.Add(q(-1, 2, 2, 5)) // column 2 deduped within one query
+	w.Add(q(-1, 2))
+	m := w.PredColumns()
+	if m[2] != 2 || m[5] != 1 {
+		t.Errorf("PredColumns = %v", m)
+	}
+}
