@@ -7,15 +7,23 @@
 //	adaptdb-bench -fig fig12      # one experiment
 //	adaptdb-bench -sf 0.004       # larger micro scale factor
 //	adaptdb-bench -list           # list experiments
+//	adaptdb-bench -pipeline -sf 0.1   # materialized vs pipelined executor
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/core"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/exec"
 	"adaptdb/internal/experiments"
+	"adaptdb/internal/tpch"
 )
 
 type runner struct {
@@ -53,6 +61,7 @@ func main() {
 	var (
 		fig      = flag.String("fig", "", "run a single experiment (e.g. fig12); empty = all")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		pipeline = flag.Bool("pipeline", false, "compare materialized vs pipelined executor paths and exit")
 		sf       = flag.Float64("sf", 0, "TPC-H micro scale factor (default 0.002)")
 		rpb      = flag.Int("rows-per-block", 0, "rows per block (default 256)")
 		budget   = flag.Int("budget", 0, "hyper-join buffer in blocks (default 8)")
@@ -85,6 +94,14 @@ func main() {
 		f17.MaxSteps = *ilpSteps
 	}
 
+	if *pipeline {
+		if err := runPipelineCompare(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "pipeline: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	runners := allRunners(*trips, f17)
 	if *list {
 		for _, r := range runners {
@@ -110,5 +127,97 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *fig)
 		os.Exit(2)
+	}
+}
+
+// runPipelineCompare loads TPC-H lineitem and orders co-partitioned on
+// orderkey at the configured scale factor and runs the same scan and
+// shuffle-join work through the legacy materializing executor methods
+// and the batched Operator pipeline, reporting wall time, result rows,
+// and bytes allocated per path.
+func runPipelineCompare(cfg experiments.Config) error {
+	fmt.Printf("executor pipeline comparison (SF=%.4g, rows/block=%d, %d nodes, batch=%d rows)\n\n",
+		cfg.SF, cfg.RowsPerBlock, cfg.Nodes, exec.DefaultBatchSize)
+	ds := tpch.Generate(cfg.SF, cfg.Seed)
+	store := dfs.NewStore(cfg.Nodes, 3, cfg.Seed)
+	line, err := core.Load(store, "lineitem", tpch.LineitemSchema, ds.Lineitem, core.LoadOptions{
+		RowsPerBlock: cfg.RowsPerBlock, Seed: cfg.Seed, JoinAttr: tpch.LOrderKey,
+	})
+	if err != nil {
+		return err
+	}
+	ord, err := core.Load(store, "orders", tpch.OrdersSchema, ds.Orders, core.LoadOptions{
+		RowsPerBlock: cfg.RowsPerBlock, Seed: cfg.Seed + 1, JoinAttr: tpch.OOrderKey,
+	})
+	if err != nil {
+		return err
+	}
+	ex := exec.New(store, &cluster.Meter{})
+
+	fmt.Printf("%-28s %12s %12s %14s\n", "path", "wall", "rows", "allocated")
+	measure := func(name string, run func() (int, error)) error {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		rows, err := run()
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		runtime.ReadMemStats(&after)
+		fmt.Printf("%-28s %12s %12d %14s\n", name, wall.Round(time.Millisecond), rows,
+			fmtBytes(after.TotalAlloc-before.TotalAlloc))
+		return nil
+	}
+
+	steps := []struct {
+		name string
+		run  func() (int, error)
+	}{
+		{"scan/materialized", func() (int, error) {
+			return len(ex.Scan(line, nil)), nil
+		}},
+		{"scan/pipelined", func() (int, error) {
+			return exec.Count(ex.TableScanOp(line, nil))
+		}},
+		{"shuffle-join/materialized", func() (int, error) {
+			return len(ex.ShuffleJoinTables(line, nil, tpch.LOrderKey, ord, nil, tpch.OOrderKey)), nil
+		}},
+		{"shuffle-join/pipelined", func() (int, error) {
+			return exec.Count(ex.JoinOp(
+				ex.TableScanOp(ord, nil), tpch.OOrderKey,
+				ex.TableScanOp(line, nil), tpch.LOrderKey,
+				exec.JoinOptions{BuildIsRight: true, BuildCharge: exec.ChargeShuffle, ProbeCharge: exec.ChargeShuffle},
+			))
+		}},
+		{"hyper-join/materialized", func() (int, error) {
+			rows, _ := ex.HyperJoin(line.Refs(0, nil), nil, tpch.LOrderKey,
+				ord.Refs(0, nil), nil, tpch.OOrderKey, cfg.Budget)
+			return len(rows), nil
+		}},
+		{"hyper-join/pipelined", func() (int, error) {
+			return exec.Count(ex.NewHyperJoinOp(line.Refs(0, nil), nil, tpch.LOrderKey,
+				ord.Refs(0, nil), nil, tpch.OOrderKey, cfg.Budget))
+		}},
+	}
+	for _, s := range steps {
+		if err := measure(s.name, s.run); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
 	}
 }

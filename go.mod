@@ -1,0 +1,3 @@
+module adaptdb
+
+go 1.22

@@ -1,0 +1,16 @@
+// Package cmt is the synthetic stand-in for the Cambridge Mobile
+// Telematics workload of §7.6. The paper itself ran on "a synthetic
+// version of the dataset" generated from company statistics plus a real
+// 103-query trace; this package regenerates both one level removed: a
+// trips fact table with 115 columns, two processed-results dimension
+// tables with 33 columns between them, and a 103-query trace with the
+// published shape — mostly small trip lookups and trip⋈history joins, a
+// few most-recent-result lookups, and a batch of large-fraction scans
+// around queries 30–50.
+//
+// Paper mapping:
+//
+//   - §7.6, Fig. 18 — the experiment in internal/experiments replays
+//     this trace against AdaptDB, full-scan, and best-guess-upfront
+//     configurations to reproduce the CMT comparison.
+package cmt

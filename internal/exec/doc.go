@@ -1,0 +1,34 @@
+// Package exec is the query executor (§6): it runs scan tasks,
+// repartitioning iterators, shuffle joins and hyper-joins over the
+// blocks of AdaptDB tables, metering every block read and shuffled row
+// through the cluster cost model. It plays the role Spark plays for the
+// paper's prototype — a dumb, parallel data plane under a smart storage
+// manager.
+//
+// Paper mapping:
+//
+//   - §4.1 — HyperJoin / HyperJoinOp execute the grouped build/probe
+//     algorithm over the block-grouping produced by internal/hyperjoin;
+//     PlanHyper computes the block-read schedule the optimizer prices.
+//   - §4.2 — every operator meters block reads and shuffled rows into a
+//     cluster.Meter, from which the cost model derives simulated time.
+//   - §4.3 — ShuffleJoinIntermediates charges the cheaper pipelined
+//     factor for shuffling materialized intermediates between joins.
+//   - §6 — Scan/ScanRefs implement predicate-based data access with
+//     tree and zone-map pruning; Executor.RoundRobin and NoPrune are
+//     the Fig. 7 locality and §7.3 full-scan baseline switches.
+//
+// The package has two API layers. The batched pipeline layer
+// (pipeline.go) is the execution engine proper: fixed-capacity Batch
+// chunks stream through Open/Next/Close Operators — block scans
+// (ScanOp, TableScanOp), hash joins (JoinOp), hyper-joins
+// (NewHyperJoinOp), filters (Where) and in-memory sources (NewSource)
+// — with scans and hyper-join groups running on a bounded worker pool.
+// The legacy slice-returning layer (Scan, ScanRefs, ShuffleJoin*,
+// HyperJoin) consists of thin Collect() adapters over those operators,
+// kept so the planner, experiments and baselines can stay
+// materialization-oriented where result sets are small. New code that
+// cares about memory or latency should compose Operators and consume
+// batches directly; see README.md in this directory for an example
+// pipeline.
+package exec

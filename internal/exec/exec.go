@@ -1,15 +1,11 @@
-// Package exec is the query executor (§6): it runs scan tasks,
-// repartitioning iterators, shuffle joins and hyper-joins over the
-// blocks of AdaptDB tables, metering every block read and shuffled row
-// through the cluster cost model. It plays the role Spark plays for the
-// paper's prototype — a dumb, parallel data plane under a smart storage
-// manager.
+// Legacy slice-returning executor entry points and the hyper-join
+// planning/statistics shared with the optimizer. See doc.go for the
+// package overview and pipeline.go for the batched engine underneath.
 package exec
 
 import (
 	"math"
 	"sort"
-	"sync"
 
 	"adaptdb/internal/block"
 	"adaptdb/internal/cluster"
@@ -53,36 +49,6 @@ func (e *Executor) workers() int {
 	return n
 }
 
-// runTasks executes the closures on a bounded worker pool.
-func (e *Executor) runTasks(tasks []func()) {
-	w := e.workers()
-	if w > len(tasks) {
-		w = len(tasks)
-	}
-	if w <= 1 {
-		for _, t := range tasks {
-			t()
-		}
-		return
-	}
-	ch := make(chan func())
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				t()
-			}
-		}()
-	}
-	for _, t := range tasks {
-		ch <- t
-	}
-	close(ch)
-	wg.Wait()
-}
-
 // taskNode picks the execution node for a block's task: its primary
 // replica, mirroring Spark/HDFS locality scheduling (scans are ~100%
 // local, Fig. 7's normal case).
@@ -95,51 +61,17 @@ func (e *Executor) taskNode(path string) dfs.NodeID {
 
 // ScanRefs reads the given blocks in parallel, filters by the predicate
 // conjunction, and returns matching rows. Block reads are metered as
-// scans.
+// scans. It is the materializing adapter over ScanOp.
 func (e *Executor) ScanRefs(refs []core.BlockRef, preds []predicate.Predicate) []tuple.Tuple {
-	var mu sync.Mutex
-	var out []tuple.Tuple
-	tasks := make([]func(), len(refs))
-	for i := range refs {
-		ref := refs[i]
-		idx := i
-		tasks[i] = func() {
-			node := e.taskNode(ref.Path)
-			if e.RoundRobin {
-				n := e.Store.NumNodes()
-				if n < 1 {
-					n = 1
-				}
-				node = dfs.NodeID(idx % n)
-			}
-			blk, local, err := e.Store.GetBlock(ref.Path, node)
-			if err != nil {
-				return // vanished (concurrent repartition): rows moved elsewhere
-			}
-			e.Meter.AddScan(blk.Len(), local)
-			var rows []tuple.Tuple
-			for _, r := range blk.Tuples {
-				if predicate.MatchesAll(preds, r) {
-					rows = append(rows, r)
-				}
-			}
-			mu.Lock()
-			out = append(out, rows...)
-			mu.Unlock()
-		}
-	}
-	e.runTasks(tasks)
-	return out
+	return MustCollect(e.ScanOp(refs, preds))
 }
 
 // Scan reads every live tree of a table with predicate and zone-map
 // pruning: the paper's predicate-based data access. With NoPrune set it
-// reads everything and filters row by row.
+// reads everything and filters row by row. It is the materializing
+// adapter over TableScanOp.
 func (e *Executor) Scan(tbl *core.Table, preds []predicate.Predicate) []tuple.Tuple {
-	if e.NoPrune {
-		return e.ScanRefs(tbl.AllRefs(nil), preds)
-	}
-	return e.ScanRefs(tbl.AllRefs(preds), preds)
+	return MustCollect(e.TableScanOp(tbl, preds))
 }
 
 // HashJoinRows joins two in-memory row sets with a hash join on integer-
@@ -183,33 +115,58 @@ func HashJoinRows(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
 
 // ShuffleJoinRows joins two materialized row sets, charging the CSJ
 // shuffle factor on every input row (eq. 1: each record is read,
-// partitioned and written, and read again).
+// partitioned and written, and read again). It is the materializing
+// adapter over JoinOp, building on the smaller side.
 func (e *Executor) ShuffleJoinRows(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
-	e.Meter.AddShuffle(len(left))
-	e.Meter.AddShuffle(len(right))
-	out := HashJoinRows(left, right, lCol, rCol)
-	e.Meter.AddResultRows(len(out))
-	return out
+	return e.joinRows(left, right, lCol, rCol, ChargeShuffle)
 }
 
 // ShuffleJoinIntermediates joins two materialized intermediate row sets,
 // charging the cheaper pipelined-shuffle factor per row (§4.3's shuffle
 // of two hyper-join outputs).
 func (e *Executor) ShuffleJoinIntermediates(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
-	e.Meter.AddIntermediateShuffle(len(left))
-	e.Meter.AddIntermediateShuffle(len(right))
-	out := HashJoinRows(left, right, lCol, rCol)
-	e.Meter.AddResultRows(len(out))
-	return out
+	return e.joinRows(left, right, lCol, rCol, ChargeIntermediate)
+}
+
+func (e *Executor) joinRows(left, right []tuple.Tuple, lCol, rCol int, charge JoinCharge) []tuple.Tuple {
+	opts := JoinOptions{BuildCharge: charge, ProbeCharge: charge}
+	build, probe := left, right
+	bCol, pCol := lCol, rCol
+	if len(right) < len(left) {
+		build, probe = right, left
+		bCol, pCol = rCol, lCol
+		opts.BuildIsRight = true
+	}
+	return MustCollect(e.JoinOp(NewSource(build), bCol, NewSource(probe), pCol, opts))
 }
 
 // ShuffleJoinTables scans both tables (with predicate pushdown) and
-// shuffle-joins the results — the baseline join strategy.
+// shuffle-joins the results — the baseline join strategy. The probe-side
+// scan streams straight into the join; only the smaller side (by block
+// metadata row counts) is materialized into the hash table.
 func (e *Executor) ShuffleJoinTables(left *core.Table, lPreds []predicate.Predicate, lCol int,
 	right *core.Table, rPreds []predicate.Predicate, rCol int) []tuple.Tuple {
-	l := e.Scan(left, lPreds)
-	r := e.Scan(right, rPreds)
-	return e.ShuffleJoinRows(l, r, lCol, rCol)
+	opts := JoinOptions{BuildCharge: ChargeShuffle, ProbeCharge: ChargeShuffle}
+	build, probe := e.tableRefs(left, lPreds), e.tableRefs(right, rPreds)
+	bPreds, pPreds := lPreds, rPreds
+	bCol, pCol := lCol, rCol
+	if metaRows(probe) < metaRows(build) {
+		build, probe = probe, build
+		bPreds, pPreds = rPreds, lPreds
+		bCol, pCol = rCol, lCol
+		opts.BuildIsRight = true
+	}
+	return MustCollect(e.JoinOp(e.ScanOp(build, bPreds), bCol, e.ScanOp(probe, pPreds), pCol, opts))
+}
+
+// metaRows sums zone-map row counts over a ref set — a pre-scan
+// cardinality estimate for build-side selection.
+func metaRows(refs []core.BlockRef) int {
+	n := 0
+	for _, r := range refs {
+		n += r.Meta.Count
+	}
+	return n
 }
 
 // HyperPlan is the block-read schedule of a prospective hyper-join: the
@@ -262,84 +219,13 @@ type HyperStats struct {
 // with the bottom-up heuristic under memory budget B blocks, then for
 // each group build a hash table over the group's R blocks and probe it
 // with every overlapping S block. Block reads are metered as build/probe
-// reads; probe multiplicity yields the effective CHyJ of eq. 2.
+// reads; probe multiplicity yields the effective CHyJ of eq. 2. It is
+// the materializing adapter over NewHyperJoinOp.
 func (e *Executor) HyperJoin(rRefs []core.BlockRef, rPreds []predicate.Predicate, rCol int,
 	sRefs []core.BlockRef, sPreds []predicate.Predicate, sCol int, budget int) ([]tuple.Tuple, HyperStats) {
-	if len(rRefs) == 0 || len(sRefs) == 0 {
-		return nil, HyperStats{}
-	}
-	plan := PlanHyper(rRefs, rCol, sRefs, sCol, budget)
-	V, grouping := plan.V, plan.Grouping
-	stats := HyperStats{
-		Groups:       len(grouping),
-		SBlocks:      len(sRefs),
-		GroupingCost: hyperjoin.Cost(grouping, V),
-	}
-
-	var mu sync.Mutex
-	var out []tuple.Tuple
-	tasks := make([]func(), len(grouping))
-	for gi := range grouping {
-		group := grouping[gi]
-		tasks[gi] = func() {
-			// The group's task runs where its first R block lives.
-			node := e.taskNode(rRefs[group[0]].Path)
-			// Build phase.
-			var build []tuple.Tuple
-			for _, i := range group {
-				blk, local, err := e.Store.GetBlock(rRefs[i].Path, node)
-				if err != nil {
-					continue
-				}
-				e.Meter.AddBuild(blk.Len(), local)
-				for _, r := range blk.Tuples {
-					if predicate.MatchesAll(rPreds, r) {
-						build = append(build, r)
-					}
-				}
-			}
-			ht := make(map[int64][]tuple.Tuple, len(build))
-			for _, r := range build {
-				ht[hashKey(r[rCol])] = append(ht[hashKey(r[rCol])], r)
-			}
-			// Probe phase: only overlapping S blocks.
-			union := hyperjoin.Union(V, group)
-			var rows []tuple.Tuple
-			probed := 0
-			for _, j := range union.Ones() {
-				if j >= len(sRefs) {
-					break
-				}
-				blk, local, err := e.Store.GetBlock(sRefs[j].Path, node)
-				if err != nil {
-					continue
-				}
-				e.Meter.AddProbe(blk.Len(), local)
-				probed++
-				for _, s := range blk.Tuples {
-					if !predicate.MatchesAll(sPreds, s) {
-						continue
-					}
-					for _, r := range ht[hashKey(s[sCol])] {
-						if tupleKeyEqual(r[rCol], s[sCol]) {
-							rows = append(rows, tuple.Concat(r, s))
-						}
-					}
-				}
-			}
-			mu.Lock()
-			out = append(out, rows...)
-			stats.BuildBlocks += len(group)
-			stats.ProbeBlocks += probed
-			mu.Unlock()
-		}
-	}
-	e.runTasks(tasks)
-	if stats.SBlocks > 0 {
-		stats.CHyJ = float64(stats.ProbeBlocks) / float64(stats.SBlocks)
-	}
-	e.Meter.AddResultRows(len(out))
-	return out, stats
+	op := e.NewHyperJoinOp(rRefs, rPreds, rCol, sRefs, sPreds, sCol, budget)
+	rows := MustCollect(op)
+	return rows, op.Stats()
 }
 
 // hashKey folds a value into an int64 hash bucket key. Collisions are

@@ -1,0 +1,707 @@
+// Batched, pipelined execution: the Operator/Batch data plane.
+//
+// The original executor materialized a full []tuple.Tuple at every
+// operator boundary, so a scan→filter→join chain paid O(total rows)
+// allocation before the first output row existed. The pipeline API
+// streams fixed-capacity Batches through Open/Next/Close operators
+// instead: scans read blocks on a bounded worker pool and emit batches
+// as they fill, joins build a hash table from their build input and
+// then stream probe batches through it. The legacy slice-returning
+// Executor methods (Scan, ScanRefs, ShuffleJoin*, HyperJoin) are thin
+// Collect() adapters over these operators, so existing callers keep
+// working while new code can consume batches without materializing
+// anything.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"adaptdb/internal/core"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/hyperjoin"
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/tuple"
+)
+
+// DefaultBatchSize is the row capacity of pipeline batches. 1024 rows
+// keeps a batch of pointers well inside L2 while amortizing channel and
+// interface-call overhead across the chunk.
+const DefaultBatchSize = 1024
+
+// Batch is a fixed-capacity chunk of rows flowing between operators.
+// A batch received from Next is owned by the caller until it calls
+// Release; the rows themselves are shared, immutable views of block or
+// join-output tuples and must not be mutated.
+type Batch struct {
+	rows []tuple.Tuple
+	// pooled marks batches whose backing array the pool owns. Batches
+	// that alias caller-provided slices (Source views) are never
+	// recycled, so releasing them cannot corrupt the source rows.
+	pooled bool
+}
+
+// Rows returns the batch's rows. The slice is only valid until Release.
+func (b *Batch) Rows() []tuple.Tuple { return b.rows }
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.rows) }
+
+// Full reports whether the batch reached its capacity.
+func (b *Batch) Full() bool { return len(b.rows) == cap(b.rows) }
+
+// Append adds a row. Appending beyond capacity grows the batch rather
+// than failing; operators check Full() to keep batches fixed-size.
+func (b *Batch) Append(t tuple.Tuple) { b.rows = append(b.rows, t) }
+
+var batchPool = sync.Pool{
+	New: func() any {
+		return &Batch{rows: make([]tuple.Tuple, 0, DefaultBatchSize), pooled: true}
+	},
+}
+
+// NewBatch returns an empty pooled batch with DefaultBatchSize capacity.
+func NewBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.rows = b.rows[:0]
+	return b
+}
+
+// Release returns a pooled batch's backing array for reuse. Safe to call
+// on view batches (no-op) and required etiquette for every batch a
+// consumer finishes with — Collect and Count do it automatically.
+func (b *Batch) Release() {
+	if b.pooled {
+		batchPool.Put(b)
+	}
+}
+
+// Operator is a pull-based batch stream — the pipeline analogue of the
+// Volcano iterator, widened from row-at-a-time to batch-at-a-time.
+//
+// Contract: Open must be called once before the first Next; Next returns
+// (nil, nil) at end of stream and must not be called again after that;
+// Close must be called exactly once, is valid after a partial drain, and
+// releases any worker goroutines the operator started. Ownership of a
+// returned batch passes to the caller, who should Release it when done.
+type Operator interface {
+	Open() error
+	Next() (*Batch, error)
+	Close() error
+}
+
+// Collect drains an operator into a materialized row slice — the bridge
+// from the pipelined world back to the legacy slice APIs.
+func Collect(op Operator) ([]tuple.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []tuple.Tuple
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return out, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b.rows...)
+		b.Release()
+	}
+}
+
+// MustCollect is Collect for callers with no error path — the legacy
+// slice-returning adapters. None of the built-in operators can fail
+// today, but future ones (spill-to-disk joins, remote shuffles) can;
+// panicking here is loud, whereas dropping the error would silently
+// truncate query results.
+func MustCollect(op Operator) []tuple.Tuple {
+	rows, err := Collect(op)
+	if err != nil {
+		panic("exec: pipeline error in materializing adapter: " + err.Error())
+	}
+	return rows
+}
+
+// Count drains an operator and returns its row count without
+// materializing any output — what a pipelined consumer that aggregates
+// in place pays.
+func Count(op Operator) (int, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	n := 0
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return n, err
+		}
+		if b == nil {
+			return n, nil
+		}
+		n += b.Len()
+		b.Release()
+	}
+}
+
+// Source adapts an in-memory row slice into an Operator. Batches are
+// zero-copy views of the slice (see tuple.Views), so a Source costs no
+// allocation beyond the view headers.
+type Source struct {
+	views [][]tuple.Tuple
+	pos   int
+}
+
+// NewSource builds a source over rows.
+func NewSource(rows []tuple.Tuple) *Source {
+	return &Source{views: tuple.Views(rows, DefaultBatchSize)}
+}
+
+// Open resets the source to the first batch.
+func (s *Source) Open() error { s.pos = 0; return nil }
+
+// Next returns the next view batch.
+func (s *Source) Next() (*Batch, error) {
+	if s.pos >= len(s.views) {
+		return nil, nil
+	}
+	b := &Batch{rows: s.views[s.pos]}
+	s.pos++
+	return b, nil
+}
+
+// Close is a no-op for sources.
+func (s *Source) Close() error { return nil }
+
+// ScanOp returns an operator that reads the refs' blocks on the
+// executor's bounded worker pool, filters by the predicate conjunction,
+// and streams matching rows in batches. Block reads are metered as
+// scans; vanished blocks (concurrent repartition) are skipped, matching
+// ScanRefs. Batch order across blocks is nondeterministic when more
+// than one worker runs.
+func (e *Executor) ScanOp(refs []core.BlockRef, preds []predicate.Predicate) Operator {
+	return &scanOp{e: e, refs: refs, preds: preds}
+}
+
+// TableScanOp returns a scan operator over every live tree of a table
+// with predicate and zone-map pruning (or none under NoPrune) — the
+// pipelined form of Scan.
+func (e *Executor) TableScanOp(tbl *core.Table, preds []predicate.Predicate) Operator {
+	return e.ScanOp(e.tableRefs(tbl, preds), preds)
+}
+
+// tableRefs resolves a table's scan set under the executor's pruning
+// mode.
+func (e *Executor) tableRefs(tbl *core.Table, preds []predicate.Predicate) []core.BlockRef {
+	if e.NoPrune {
+		return tbl.AllRefs(nil)
+	}
+	return tbl.AllRefs(preds)
+}
+
+type scanOp struct {
+	e     *Executor
+	refs  []core.BlockRef
+	preds []predicate.Predicate
+
+	next  atomic.Int64
+	empty bool
+	out   chan *Batch
+	done  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+func (s *scanOp) Open() error {
+	if len(s.refs) == 0 {
+		// Predicate pruning often eliminates every block; skip the pool.
+		s.empty = true
+		return nil
+	}
+	w := s.e.workers()
+	if w > len(s.refs) {
+		w = len(s.refs)
+	}
+	if w < 1 {
+		w = 1
+	}
+	// The channel buffer bounds how far scans run ahead of the consumer:
+	// at most ~2 batches per worker are in flight, the pipelined
+	// equivalent of the old code's single giant result slice.
+	s.out = make(chan *Batch, 2*w)
+	s.done = make(chan struct{})
+	for i := 0; i < w; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.out)
+	}()
+	return nil
+}
+
+func (s *scanOp) worker() {
+	defer s.wg.Done()
+	n := s.e.Store.NumNodes()
+	if n < 1 {
+		n = 1
+	}
+	for {
+		idx := int(s.next.Add(1) - 1)
+		if idx >= len(s.refs) {
+			return
+		}
+		ref := s.refs[idx]
+		node := s.e.taskNode(ref.Path)
+		if s.e.RoundRobin {
+			node = dfs.NodeID(idx % n)
+		}
+		blk, local, err := s.e.Store.GetBlock(ref.Path, node)
+		if err != nil {
+			continue // vanished (concurrent repartition): rows moved elsewhere
+		}
+		s.e.Meter.AddScan(blk.Len(), local)
+		b := NewBatch()
+		for _, r := range blk.Tuples {
+			if predicate.MatchesAll(s.preds, r) {
+				b.Append(r)
+				if b.Full() {
+					if !s.send(b) {
+						return
+					}
+					b = NewBatch()
+				}
+			}
+		}
+		if b.Len() > 0 {
+			if !s.send(b) {
+				return
+			}
+		} else {
+			b.Release()
+		}
+	}
+}
+
+func (s *scanOp) send(b *Batch) bool {
+	select {
+	case s.out <- b:
+		return true
+	case <-s.done:
+		b.Release()
+		return false
+	}
+}
+
+func (s *scanOp) Next() (*Batch, error) {
+	if s.empty {
+		return nil, nil
+	}
+	b, ok := <-s.out
+	if !ok {
+		return nil, nil
+	}
+	return b, nil
+}
+
+func (s *scanOp) Close() error {
+	if s.empty {
+		return nil
+	}
+	s.once.Do(func() {
+		close(s.done)
+		// Drain so no worker stays blocked on send; the closer goroutine
+		// closes out once every worker exits.
+		for b := range s.out {
+			b.Release()
+		}
+	})
+	return nil
+}
+
+// Where wraps an operator with an extra predicate conjunction, repacking
+// surviving rows into fresh batches. Scans push predicates down already;
+// Where exists for filters that only apply mid-pipeline (e.g. on join
+// outputs).
+func Where(child Operator, preds []predicate.Predicate) Operator {
+	return &filterOp{child: child, preds: preds}
+}
+
+type filterOp struct {
+	child Operator
+	preds []predicate.Predicate
+}
+
+func (f *filterOp) Open() error { return f.child.Open() }
+
+func (f *filterOp) Next() (*Batch, error) {
+	for {
+		in, err := f.child.Next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		out := NewBatch()
+		for _, r := range in.Rows() {
+			if predicate.MatchesAll(f.preds, r) {
+				out.Append(r)
+			}
+		}
+		in.Release()
+		if out.Len() > 0 {
+			return out, nil
+		}
+		out.Release()
+	}
+}
+
+func (f *filterOp) Close() error { return f.child.Close() }
+
+// JoinCharge selects how a join operator meters its input rows.
+type JoinCharge int
+
+const (
+	// ChargeNone meters nothing — callers meter the I/O that produced
+	// the inputs (HashJoinRows semantics).
+	ChargeNone JoinCharge = iota
+	// ChargeShuffle charges the CSJ shuffle factor per row (eq. 1: each
+	// record is read, partitioned and written, and read again).
+	ChargeShuffle
+	// ChargeIntermediate charges the cheaper pipelined-shuffle factor
+	// per row (§4.3's shuffle of materialized intermediates).
+	ChargeIntermediate
+)
+
+// JoinOptions configures a pipelined hash join.
+type JoinOptions struct {
+	// BuildIsRight emits output rows as probe‖build instead of
+	// build‖probe, so callers can build on either side while keeping
+	// (left, right) column order.
+	BuildIsRight bool
+	// BuildCharge / ProbeCharge meter the respective input's rows as
+	// they stream through the join.
+	BuildCharge, ProbeCharge JoinCharge
+}
+
+// JoinOp returns a pipelined hash join: Open drains the build input into
+// a hash table, then Next streams probe batches through it, emitting
+// concatenated match rows. Result rows are metered once at end of
+// stream. The probe side is never materialized — this is where the
+// pipeline beats the slice APIs on wide joins.
+func (e *Executor) JoinOp(build Operator, buildCol int, probe Operator, probeCol int, opts JoinOptions) Operator {
+	return &hashJoinOp{e: e, build: build, probe: probe, bCol: buildCol, pCol: probeCol, opts: opts}
+}
+
+type hashJoinOp struct {
+	e            *Executor
+	build, probe Operator
+	bCol, pCol   int
+	opts         JoinOptions
+
+	ht      map[string][]tuple.Tuple
+	keyBuf  []byte
+	queue   []*Batch // full output batches not yet handed out
+	cur     *Batch   // partial output batch being filled
+	eos     bool
+	results int
+}
+
+func (j *hashJoinOp) charge(c JoinCharge, rows int) {
+	switch c {
+	case ChargeShuffle:
+		j.e.Meter.AddShuffle(rows)
+	case ChargeIntermediate:
+		j.e.Meter.AddIntermediateShuffle(rows)
+	}
+}
+
+func (j *hashJoinOp) Open() error {
+	if err := j.build.Open(); err != nil {
+		return err
+	}
+	j.ht = make(map[string][]tuple.Tuple)
+	for {
+		b, err := j.build.Next()
+		if err != nil {
+			j.build.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		j.charge(j.opts.BuildCharge, b.Len())
+		for _, r := range b.Rows() {
+			j.keyBuf = r[j.bCol].AppendBinary(j.keyBuf[:0])
+			j.ht[string(j.keyBuf)] = append(j.ht[string(j.keyBuf)], r)
+		}
+		b.Release()
+	}
+	if err := j.build.Close(); err != nil {
+		return err
+	}
+	return j.probe.Open()
+}
+
+// emit appends one output row, rotating full batches into the queue.
+func (j *hashJoinOp) emit(row tuple.Tuple) {
+	if j.cur == nil {
+		j.cur = NewBatch()
+	}
+	j.cur.Append(row)
+	j.results++
+	if j.cur.Full() {
+		j.queue = append(j.queue, j.cur)
+		j.cur = nil
+	}
+}
+
+func (j *hashJoinOp) Next() (*Batch, error) {
+	for {
+		if len(j.queue) > 0 {
+			b := j.queue[0]
+			j.queue = j.queue[1:]
+			return b, nil
+		}
+		if j.eos {
+			return nil, nil
+		}
+		pb, err := j.probe.Next()
+		if err != nil {
+			return nil, err
+		}
+		if pb == nil {
+			j.eos = true
+			j.e.Meter.AddResultRows(j.results)
+			if j.cur != nil && j.cur.Len() > 0 {
+				b := j.cur
+				j.cur = nil
+				return b, nil
+			}
+			return nil, nil
+		}
+		j.charge(j.opts.ProbeCharge, pb.Len())
+		// Even with an empty hash table the probe side must drain so its
+		// rows are metered, matching ShuffleJoinRows on an empty side.
+		for _, p := range pb.Rows() {
+			j.keyBuf = p[j.pCol].AppendBinary(j.keyBuf[:0])
+			for _, b := range j.ht[string(j.keyBuf)] {
+				if j.opts.BuildIsRight {
+					j.emit(tuple.Concat(p, b))
+				} else {
+					j.emit(tuple.Concat(b, p))
+				}
+			}
+		}
+		pb.Release()
+	}
+}
+
+func (j *hashJoinOp) Close() error {
+	for _, b := range j.queue {
+		b.Release()
+	}
+	j.queue = nil
+	if j.cur != nil {
+		j.cur.Release()
+		j.cur = nil
+	}
+	j.ht = nil
+	return j.probe.Close()
+}
+
+// HyperJoinOp is the streaming form of HyperJoin: Open computes the
+// block-read schedule (§4.1) and starts the bounded worker pool; Next
+// streams joined batches as groups complete. Stats is valid once the
+// stream is drained.
+type HyperJoinOp struct {
+	e            *Executor
+	rRefs, sRefs []core.BlockRef
+	rPreds       []predicate.Predicate
+	sPreds       []predicate.Predicate
+	rCol, sCol   int
+	budget       int
+
+	plan    HyperPlan
+	stats   HyperStats
+	statsMu sync.Mutex
+	results atomic.Int64
+	empty   bool
+	metered bool
+
+	next atomic.Int64
+	out  chan *Batch
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewHyperJoinOp builds the streaming hyper-join over pre-pruned build
+// (R) and probe (S) refs.
+func (e *Executor) NewHyperJoinOp(rRefs []core.BlockRef, rPreds []predicate.Predicate, rCol int,
+	sRefs []core.BlockRef, sPreds []predicate.Predicate, sCol int, budget int) *HyperJoinOp {
+	return &HyperJoinOp{
+		e: e, rRefs: rRefs, sRefs: sRefs, rPreds: rPreds, sPreds: sPreds,
+		rCol: rCol, sCol: sCol, budget: budget,
+	}
+}
+
+// Stats reports what the hyper-join did; complete only after Next has
+// returned nil (the stream is drained).
+func (h *HyperJoinOp) Stats() HyperStats { return h.stats }
+
+func (h *HyperJoinOp) Open() error {
+	if len(h.rRefs) == 0 || len(h.sRefs) == 0 {
+		h.empty = true
+		return nil
+	}
+	h.plan = PlanHyper(h.rRefs, h.rCol, h.sRefs, h.sCol, h.budget)
+	h.stats = HyperStats{
+		Groups:       len(h.plan.Grouping),
+		SBlocks:      len(h.sRefs),
+		GroupingCost: hyperjoin.Cost(h.plan.Grouping, h.plan.V),
+	}
+	w := h.e.workers()
+	if w > len(h.plan.Grouping) {
+		w = len(h.plan.Grouping)
+	}
+	if w < 1 {
+		w = 1
+	}
+	h.out = make(chan *Batch, 2*w)
+	h.done = make(chan struct{})
+	for i := 0; i < w; i++ {
+		h.wg.Add(1)
+		go h.worker()
+	}
+	go func() {
+		h.wg.Wait()
+		close(h.out)
+	}()
+	return nil
+}
+
+func (h *HyperJoinOp) worker() {
+	defer h.wg.Done()
+	for {
+		gi := int(h.next.Add(1) - 1)
+		if gi >= len(h.plan.Grouping) {
+			return
+		}
+		if !h.runGroup(h.plan.Grouping[gi]) {
+			return
+		}
+	}
+}
+
+// runGroup executes one group of the §4.1 algorithm: build a hash table
+// over the group's R blocks, probe it with every overlapping S block,
+// streaming output batches. Returns false when the operator was closed.
+func (h *HyperJoinOp) runGroup(group []int) bool {
+	// The group's task runs where its first R block lives.
+	node := h.e.taskNode(h.rRefs[group[0]].Path)
+	ht := make(map[int64][]tuple.Tuple)
+	built := 0
+	for _, i := range group {
+		blk, local, err := h.e.Store.GetBlock(h.rRefs[i].Path, node)
+		if err != nil {
+			continue
+		}
+		h.e.Meter.AddBuild(blk.Len(), local)
+		built++
+		for _, r := range blk.Tuples {
+			if predicate.MatchesAll(h.rPreds, r) {
+				ht[hashKey(r[h.rCol])] = append(ht[hashKey(r[h.rCol])], r)
+			}
+		}
+	}
+	// Probe phase: only overlapping S blocks.
+	union := hyperjoin.Union(h.plan.V, group)
+	probed := 0
+	b := NewBatch()
+	for _, j := range union.Ones() {
+		if j >= len(h.sRefs) {
+			break
+		}
+		blk, local, err := h.e.Store.GetBlock(h.sRefs[j].Path, node)
+		if err != nil {
+			continue
+		}
+		h.e.Meter.AddProbe(blk.Len(), local)
+		probed++
+		for _, s := range blk.Tuples {
+			if !predicate.MatchesAll(h.sPreds, s) {
+				continue
+			}
+			for _, r := range ht[hashKey(s[h.sCol])] {
+				if tupleKeyEqual(r[h.rCol], s[h.sCol]) {
+					b.Append(tuple.Concat(r, s))
+					if b.Full() {
+						if !h.send(b) {
+							return false
+						}
+						b = NewBatch()
+					}
+				}
+			}
+		}
+	}
+	h.statsMu.Lock()
+	h.stats.BuildBlocks += len(group)
+	h.stats.ProbeBlocks += probed
+	h.statsMu.Unlock()
+	if b.Len() > 0 {
+		return h.send(b)
+	}
+	b.Release()
+	return true
+}
+
+func (h *HyperJoinOp) send(b *Batch) bool {
+	h.results.Add(int64(b.Len()))
+	select {
+	case h.out <- b:
+		return true
+	case <-h.done:
+		b.Release()
+		return false
+	}
+}
+
+func (h *HyperJoinOp) Next() (*Batch, error) {
+	if h.empty {
+		return nil, nil
+	}
+	b, ok := <-h.out
+	if !ok {
+		h.finish()
+		return nil, nil
+	}
+	return b, nil
+}
+
+// finish seals the stats once the stream is drained.
+func (h *HyperJoinOp) finish() {
+	if h.metered {
+		return
+	}
+	h.metered = true
+	if h.stats.SBlocks > 0 {
+		h.stats.CHyJ = float64(h.stats.ProbeBlocks) / float64(h.stats.SBlocks)
+	}
+	h.e.Meter.AddResultRows(int(h.results.Load()))
+}
+
+func (h *HyperJoinOp) Close() error {
+	if h.empty {
+		return nil
+	}
+	h.once.Do(func() {
+		close(h.done)
+		for b := range h.out {
+			b.Release()
+		}
+	})
+	return nil
+}

@@ -1,0 +1,263 @@
+package exec
+
+import (
+	"testing"
+
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+func TestWorkersDefaultsToNodeCount(t *testing.T) {
+	store := dfs.NewStore(7, 2, 1)
+	ex := New(store, &cluster.Meter{})
+	if got := ex.workers(); got != 7 {
+		t.Errorf("workers() = %d, want node count 7", got)
+	}
+	ex.Workers = 3
+	if got := ex.workers(); got != 3 {
+		t.Errorf("workers() = %d, want override 3", got)
+	}
+}
+
+func TestWorkersFloorOfOne(t *testing.T) {
+	// A store constructed with < 1 nodes clamps to 1; workers() must
+	// never return 0 even then.
+	store := dfs.NewStore(0, 1, 1)
+	ex := New(store, &cluster.Meter{})
+	if got := ex.workers(); got < 1 {
+		t.Errorf("workers() = %d, want >= 1", got)
+	}
+}
+
+func TestScanOpMoreWorkersThanBlocks(t *testing.T) {
+	f := newFixture(t, true)
+	f.ex.Workers = 64 // far more than the fixture's block count
+	rows, err := Collect(f.ex.TableScanOp(f.line, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(f.lrows) {
+		t.Errorf("64-worker scan returned %d rows, want %d", len(rows), len(f.lrows))
+	}
+}
+
+func TestScanOpMatchesScan(t *testing.T) {
+	f := newFixture(t, true)
+	preds := []predicate.Predicate{predicate.NewCmp(2, predicate.LT, value.NewInt(1200))}
+	pipelined, err := Collect(f.ex.TableScanOp(f.line, preds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	materialized := f.ex.Scan(f.line, preds)
+	if len(pipelined) != len(materialized) {
+		t.Fatalf("pipelined scan %d rows, materialized %d", len(pipelined), len(materialized))
+	}
+	SortRows(pipelined)
+	SortRows(materialized)
+	for i := range pipelined {
+		for c := range pipelined[i] {
+			if value.Compare(pipelined[i][c], materialized[i][c]) != 0 {
+				t.Fatalf("row %d differs between paths", i)
+			}
+		}
+	}
+}
+
+func TestScanOpEmptyRefs(t *testing.T) {
+	f := newFixture(t, true)
+	rows, err := Collect(f.ex.ScanOp(nil, nil))
+	if err != nil || rows != nil {
+		t.Errorf("empty scan: rows=%v err=%v, want nil/nil", rows, err)
+	}
+}
+
+func TestScanOpEarlyClose(t *testing.T) {
+	// Abandoning a stream mid-drain must not deadlock or leak workers:
+	// Close unblocks producers stuck on the bounded channel.
+	f := newFixture(t, true)
+	op := f.ex.TableScanOp(f.line, nil)
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := op.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != nil {
+		b.Release()
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close must be safe.
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinOpMatchesHashJoinRows(t *testing.T) {
+	l := genLineitem(400, 21)
+	r := genOrders(300, 22)
+	store := dfs.NewStore(2, 1, 1)
+	ex := New(store, &cluster.Meter{})
+	got, err := Collect(ex.JoinOp(NewSource(l), 0, NewSource(r), 0, JoinOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HashJoinRows(l, r, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("JoinOp %d rows, HashJoinRows %d", len(got), len(want))
+	}
+	SortRows(got)
+	SortRows(want)
+	for i := range got {
+		for c := range got[i] {
+			if value.Compare(got[i][c], want[i][c]) != 0 {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+}
+
+func TestJoinOpBuildIsRightKeepsColumnOrder(t *testing.T) {
+	l := genLineitem(100, 23)
+	r := genOrders(80, 24)
+	store := dfs.NewStore(2, 1, 1)
+	ex := New(store, &cluster.Meter{})
+	// Build on the right side but emit (left, right) order.
+	got, err := Collect(ex.JoinOp(NewSource(r), 0, NewSource(l), 0, JoinOptions{BuildIsRight: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HashJoinRows(l, r, 0, 0)
+	SortRows(got)
+	SortRows(want)
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		for c := range got[i] {
+			if value.Compare(got[i][c], want[i][c]) != 0 {
+				t.Fatalf("row %d differs — column order not preserved", i)
+			}
+		}
+	}
+}
+
+func TestJoinOpChargesEmptyBuildProbeRows(t *testing.T) {
+	// With an empty build side the probe must still drain and meter,
+	// matching the legacy ShuffleJoinRows metering.
+	r := genOrders(50, 25)
+	store := dfs.NewStore(2, 1, 1)
+	meter := &cluster.Meter{}
+	ex := New(store, meter)
+	rows := ex.ShuffleJoinRows(nil, r, 0, 0)
+	if rows != nil {
+		t.Errorf("empty build side should produce no rows")
+	}
+	if c := meter.Snapshot(); c.ShuffleRows != 50 {
+		t.Errorf("ShuffleRows = %v, want 50 (probe side metered)", c.ShuffleRows)
+	}
+}
+
+func TestWhereFiltersMidPipeline(t *testing.T) {
+	rows := genLineitem(500, 26)
+	preds := []predicate.Predicate{predicate.NewCmp(2, predicate.LT, value.NewInt(1000))}
+	got, err := Collect(Where(NewSource(rows), preds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range rows {
+		if r[2].Int64() < 1000 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("Where kept %d rows, want %d", len(got), want)
+	}
+}
+
+func TestHyperJoinOpStreamsSameRowsAsAdapter(t *testing.T) {
+	f := newFixture(t, true)
+	rRefs := f.line.Refs(0, nil)
+	sRefs := f.ord.Refs(0, nil)
+	op := f.ex.NewHyperJoinOp(rRefs, nil, 0, sRefs, nil, 0, 4)
+	n, err := Count(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, stats := f.ex.HyperJoin(rRefs, nil, 0, sRefs, nil, 0, 4)
+	if n != len(rows) {
+		t.Errorf("streamed %d rows, adapter materialized %d", n, len(rows))
+	}
+	st := op.Stats()
+	if st.Groups != stats.Groups || st.BuildBlocks != stats.BuildBlocks ||
+		st.ProbeBlocks != stats.ProbeBlocks || st.CHyJ != stats.CHyJ {
+		t.Errorf("streamed stats %+v, adapter stats %+v", st, stats)
+	}
+}
+
+func TestSourceBatchesAreViews(t *testing.T) {
+	rows := genLineitem(3*DefaultBatchSize+17, 27)
+	src := NewSource(rows)
+	if err := src.Open(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		b, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() > DefaultBatchSize {
+			t.Errorf("batch of %d rows exceeds DefaultBatchSize", b.Len())
+		}
+		if &b.Rows()[0][0] != &rows[total][0] {
+			t.Errorf("source batch at row %d is a copy, want a view", total)
+		}
+		total += b.Len()
+		b.Release() // must be a no-op for view batches
+	}
+	if total != len(rows) {
+		t.Errorf("source streamed %d rows, want %d", total, len(rows))
+	}
+}
+
+func TestBatchPoolRoundTrip(t *testing.T) {
+	b := NewBatch()
+	if b.Len() != 0 || cap(b.rows) != DefaultBatchSize {
+		t.Fatalf("fresh batch len=%d cap=%d", b.Len(), cap(b.rows))
+	}
+	b.Append(tuple.Tuple{value.NewInt(1)})
+	if b.Len() != 1 || b.Full() {
+		t.Fatalf("after one append: len=%d full=%v", b.Len(), b.Full())
+	}
+	b.Release()
+	b2 := NewBatch()
+	if b2.Len() != 0 {
+		t.Errorf("pooled batch not reset: len=%d", b2.Len())
+	}
+	b2.Release()
+}
+
+func TestCollectAndCountAgree(t *testing.T) {
+	f := newFixture(t, true)
+	rows, err := Collect(f.ex.TableScanOp(f.line, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Count(f.ex.TableScanOp(f.line, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rows) {
+		t.Errorf("Count = %d, Collect = %d rows", n, len(rows))
+	}
+}

@@ -1,13 +1,3 @@
-// Package hyperjoin implements the hyper-join block-grouping problem of
-// §4.1: given the overlap structure between the blocks of two relations
-// R and S on a join attribute, partition R's blocks into groups of at
-// most B (the memory budget) so that the total number of S-block reads —
-// C(P) = Σ δ(ṽ(p)) — is minimized. Finding even one optimal group is
-// NP-hard (§4.1.4, by reduction from maximum k-subset intersection), so
-// the package provides the paper's practical bottom-up heuristic
-// (Fig. 6), the per-round greedy formulation (Fig. 5), a trivial
-// first-fit baseline, and an exact branch-and-bound optimizer standing in
-// for the paper's GLPK MIP (§4.1.2) at evaluation scale.
 package hyperjoin
 
 import "math/bits"

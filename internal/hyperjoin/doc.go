@@ -1,0 +1,24 @@
+// Package hyperjoin implements the hyper-join block-grouping problem of
+// §4.1: given the overlap structure between the blocks of two relations
+// R and S on a join attribute, partition R's blocks into groups of at
+// most B (the memory budget) so that the total number of S-block reads —
+// C(P) = Σ δ(ṽ(p)) — is minimized.
+//
+// Paper mapping:
+//
+//   - §4.1.1 — OverlapVectors derives each R block's bit vector of
+//     overlapping S blocks from zone-map join ranges (BitVec).
+//   - §4.1.2 — the MIP formulation; Exact is a branch-and-bound
+//     optimizer standing in for the paper's GLPK solver at evaluation
+//     scale (compared against the heuristics in Fig. 17).
+//   - §4.1.3, Fig. 5 — the per-round greedy grouping formulation.
+//   - §4.1.3, Fig. 6 — BottomUp, the practical bottom-up heuristic the
+//     executor uses; FirstFit is the trivial baseline.
+//   - §4.1.4 — finding even one optimal group is NP-hard (by reduction
+//     from maximum k-subset intersection), which is why the heuristics
+//     exist at all.
+//
+// The executor (internal/exec) turns a Grouping into the actual grouped
+// build/probe schedule; Cost prices a grouping in S-block reads before
+// anything runs.
+package hyperjoin

@@ -1,0 +1,18 @@
+// Package optimizer is the component that adjusts partitioning trees as
+// queries arrive (Fig. 2, §6 "Optimizer"): it maintains a query window
+// per table, drives smooth repartitioning for join attributes and
+// Amoeba-style adaptation for selection predicates, and supports the
+// §7.3 baseline modes (no adaptation; full immediate repartitioning).
+//
+// Paper mapping:
+//
+//   - §5.2 — deciding when to start smooth repartitioning toward a join
+//     attribute, and driving the incremental bucket migration through
+//     internal/smooth.
+//   - §5.3 — the query window: which recent queries vote on the next
+//     partitioning layout (swept in Fig. 15).
+//   - §5.4 — pricing candidate layouts with the executor's hyper-join
+//     schedule before committing to a repartition.
+//   - §7.3 — the FullScan / Repartitioning / BestGuess baseline modes
+//     the evaluation compares against.
+package optimizer

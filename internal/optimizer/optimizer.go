@@ -1,8 +1,3 @@
-// Package optimizer is the component that adjusts partitioning trees as
-// queries arrive (Fig. 2, §6 "Optimizer"): it maintains a query window
-// per table, drives smooth repartitioning for join attributes and
-// Amoeba-style adaptation for selection predicates, and supports the
-// §7.3 baseline modes (no adaptation; full immediate repartitioning).
 package optimizer
 
 import (

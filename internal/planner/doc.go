@@ -1,0 +1,32 @@
+// Package planner implements AdaptDB's query planner (§6): given a join
+// plan over tables, pick hyper-join, shuffle join, or a combination per
+// join using the §4.2 cost model, and execute multi-relation joins per
+// §4.3 (shuffling only the intermediate when the base table's tree is
+// partitioned on the join attribute).
+//
+// The planner's three cases for a base-table join (§6):
+//
+//  1. both tables have one tree partitioned on the join attribute —
+//     hyper-join;
+//  2. one or both tables are mid smooth-repartitioning (multiple trees) —
+//     a combination of hyper-join over the co-partitioned portions and
+//     shuffle join over the residual portions;
+//  3. no tree on the join attribute — shuffle join, unless the upfront
+//     partitioning happens to make hyper-join cheaper anyway.
+//
+// Paper mapping:
+//
+//   - §4.2 — estimateHyper / estimateShuffle price the strategies in
+//     block reads before running the winner.
+//   - §4.3 — semiShuffleJoin streams a base table through the probe
+//     side of a pipelined join while only the materialized intermediate
+//     shuffles.
+//   - §5.4 — the cost comparison that decides whether a combination
+//     join beats a plain shuffle mid-transition.
+//   - §6 — Runner walks the plan tree, recording per-join strategy
+//     reports the experiments aggregate.
+//
+// Execution is delegated to internal/exec; the planner composes its
+// batched operators (TableScanOp, JoinOp, HyperJoin) per the strategy
+// decision.
+package planner

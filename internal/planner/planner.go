@@ -1,17 +1,3 @@
-// Package planner implements AdaptDB's query planner (§6): given a join
-// plan over tables, pick hyper-join, shuffle join, or a combination per
-// join using the §4.2 cost model, and execute multi-relation joins per
-// §4.3 (shuffling only the intermediate when the base table's tree is
-// partitioned on the join attribute).
-//
-// The planner's three cases for a base-table join (§6):
-//  1. both tables have one tree partitioned on the join attribute —
-//     hyper-join;
-//  2. one or both tables are mid smooth-repartitioning (multiple trees) —
-//     a combination of hyper-join over the co-partitioned portions and
-//     shuffle join over the residual portions;
-//  3. no tree on the join attribute — shuffle join, unless the upfront
-//     partitioning happens to make hyper-join cheaper anyway.
 package planner
 
 import (
@@ -313,19 +299,18 @@ func swapSides(rows []tuple.Tuple, leftWidth int) []tuple.Tuple {
 // the intermediate is the plan's left child (controls output column
 // order).
 func (r *Runner) semiShuffleJoin(rows []tuple.Tuple, rowsCol int, sc *Scan, tblCol int, tblFirst bool) ([]tuple.Tuple, JoinReport) {
-	tblRows := r.Ex.Scan(sc.Table, sc.Preds)
 	strategy := StratSemiShuffle
-	r.Ex.Meter.AddIntermediateShuffle(len(rows))
+	opts := exec.JoinOptions{
+		BuildCharge:  exec.ChargeIntermediate,
+		BuildIsRight: tblFirst,
+	}
 	if r.ForceShuffle || sc.Table.TreeFor(tblCol) < 0 {
-		r.Ex.Meter.AddShuffle(len(tblRows))
+		// No tree on the join attribute: the base table shuffles too.
+		opts.ProbeCharge = exec.ChargeShuffle
 		strategy = StratShuffle
 	}
-	var out []tuple.Tuple
-	if tblFirst {
-		out = exec.HashJoinRows(tblRows, rows, tblCol, rowsCol)
-	} else {
-		out = exec.HashJoinRows(rows, tblRows, rowsCol, tblCol)
-	}
-	r.Ex.Meter.AddResultRows(len(out))
-	return out, JoinReport{Strategy: strategy}
+	// Build on the (typically smaller) intermediate; the base-table scan
+	// streams through the probe side without being materialized.
+	op := r.Ex.JoinOp(exec.NewSource(rows), rowsCol, r.Ex.TableScanOp(sc.Table, sc.Preds), tblCol, opts)
+	return exec.MustCollect(op), JoinReport{Strategy: strategy}
 }

@@ -58,6 +58,29 @@ func Decode(src []byte, s *schema.Schema) (Tuple, int, error) {
 	return t, pos, nil
 }
 
+// Views splits rows into contiguous sub-slices of at most size rows
+// each, without copying: each view aliases rows' backing array (capped
+// so appends cannot clobber the next view). The batched executor uses
+// Views to stream an in-memory row set through a pipeline with zero
+// per-row allocation.
+func Views(rows []Tuple, size int) [][]Tuple {
+	if len(rows) == 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = 1
+	}
+	out := make([][]Tuple, 0, (len(rows)+size-1)/size)
+	for start := 0; start < len(rows); start += size {
+		end := start + size
+		if end > len(rows) {
+			end = len(rows)
+		}
+		out = append(out, rows[start:end:end])
+	}
+	return out
+}
+
 // Concat builds a wide tuple from two tuples, used for join outputs.
 func Concat(a, b Tuple) Tuple {
 	out := make(Tuple, 0, len(a)+len(b))

@@ -151,3 +151,48 @@ func TestConcatSchemas(t *testing.T) {
 		t.Errorf("prefixed names wrong: %s", j)
 	}
 }
+
+func TestViews(t *testing.T) {
+	rows := make([]Tuple, 10)
+	for i := range rows {
+		rows[i] = mkTuple(int64(i), 0, "v", 1)
+	}
+	views := Views(rows, 4)
+	if len(views) != 3 {
+		t.Fatalf("Views(10, 4) produced %d views, want 3", len(views))
+	}
+	total := 0
+	for vi, v := range views {
+		if vi < len(views)-1 && len(v) != 4 {
+			t.Errorf("view %d has %d rows, want 4", vi, len(v))
+		}
+		for _, r := range v {
+			if r[0].Int64() != int64(total) {
+				t.Errorf("view row out of order: got id %d, want %d", r[0].Int64(), total)
+			}
+			total++
+		}
+		if len(v) > 0 && &v[0][0] != &rows[total-len(v)][0] {
+			t.Errorf("view %d copies rows, want alias", vi)
+		}
+		if cap(v) != len(v) {
+			t.Errorf("view %d cap %d > len %d — append could clobber the next view", vi, cap(v), len(v))
+		}
+	}
+	if total != len(rows) {
+		t.Errorf("views cover %d rows, want %d", total, len(rows))
+	}
+}
+
+func TestViewsEdgeCases(t *testing.T) {
+	if Views(nil, 4) != nil {
+		t.Errorf("Views(nil) should be nil")
+	}
+	rows := []Tuple{mkTuple(1, 0, "a", 1), mkTuple(2, 0, "b", 1)}
+	if got := Views(rows, 0); len(got) != 2 {
+		t.Errorf("Views with size 0 should clamp to 1 row per view, got %d views", len(got))
+	}
+	if got := Views(rows, 100); len(got) != 1 || len(got[0]) != 2 {
+		t.Errorf("oversized view split wrong: %d views", len(got))
+	}
+}

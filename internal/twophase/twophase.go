@@ -1,8 +1,3 @@
-// Package twophase implements AdaptDB's two-phase partitioning (§5.1,
-// Fig. 9): a partitioning tree whose first phase splits on a single join
-// attribute using recursive medians (producing disjoint, balanced join
-// ranges — the property hyper-join needs), and whose second phase splits
-// on selection attributes using Amoeba's heterogeneous branching.
 package twophase
 
 import (
