@@ -8,9 +8,11 @@
 //	adaptdb-bench -sf 0.004       # larger micro scale factor
 //	adaptdb-bench -list           # list experiments
 //	adaptdb-bench -pipeline -sf 0.1   # materialized vs pipelined executor
+//	adaptdb-bench -json -sf 0.01      # machine-readable pipeline results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -62,6 +64,7 @@ func main() {
 		fig      = flag.String("fig", "", "run a single experiment (e.g. fig12); empty = all")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		pipeline = flag.Bool("pipeline", false, "compare materialized vs pipelined executor paths and exit")
+		jsonOut  = flag.Bool("json", false, "emit the pipeline comparison as machine-readable JSON (implies -pipeline); track results in BENCH_*.json")
 		sf       = flag.Float64("sf", 0, "TPC-H micro scale factor (default 0.002)")
 		rpb      = flag.Int("rows-per-block", 0, "rows per block (default 256)")
 		budget   = flag.Int("budget", 0, "hyper-join buffer in blocks (default 8)")
@@ -94,8 +97,8 @@ func main() {
 		f17.MaxSteps = *ilpSteps
 	}
 
-	if *pipeline {
-		if err := runPipelineCompare(cfg); err != nil {
+	if *pipeline || *jsonOut {
+		if err := runPipelineCompare(cfg, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "pipeline: %v\n", err)
 			os.Exit(1)
 		}
@@ -130,14 +133,37 @@ func main() {
 	}
 }
 
+// benchRecord is one machine-readable benchmark measurement, the unit
+// future PRs track in BENCH_*.json to follow the perf trajectory.
+type benchRecord struct {
+	Op          string `json:"op"`
+	Rows        int    `json:"rows"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+// benchReport wraps the records with enough configuration to make runs
+// comparable across PRs.
+type benchReport struct {
+	SF           float64       `json:"sf"`
+	RowsPerBlock int           `json:"rows_per_block"`
+	Nodes        int           `json:"nodes"`
+	BatchSize    int           `json:"batch_size"`
+	Results      []benchRecord `json:"results"`
+}
+
 // runPipelineCompare loads TPC-H lineitem and orders co-partitioned on
 // orderkey at the configured scale factor and runs the same scan and
 // shuffle-join work through the legacy materializing executor methods
 // and the batched Operator pipeline, reporting wall time, result rows,
-// and bytes allocated per path.
-func runPipelineCompare(cfg experiments.Config) error {
-	fmt.Printf("executor pipeline comparison (SF=%.4g, rows/block=%d, %d nodes, batch=%d rows)\n\n",
-		cfg.SF, cfg.RowsPerBlock, cfg.Nodes, exec.DefaultBatchSize)
+// and allocations per path — as a plain-text table, or as JSON when
+// jsonOut is set.
+func runPipelineCompare(cfg experiments.Config, jsonOut bool) error {
+	if !jsonOut {
+		fmt.Printf("executor pipeline comparison (SF=%.4g, rows/block=%d, %d nodes, batch=%d rows)\n\n",
+			cfg.SF, cfg.RowsPerBlock, cfg.Nodes, exec.DefaultBatchSize)
+	}
 	ds := tpch.Generate(cfg.SF, cfg.Seed)
 	store := dfs.NewStore(cfg.Nodes, 3, cfg.Seed)
 	line, err := core.Load(store, "lineitem", tpch.LineitemSchema, ds.Lineitem, core.LoadOptions{
@@ -154,7 +180,12 @@ func runPipelineCompare(cfg experiments.Config) error {
 	}
 	ex := exec.New(store, &cluster.Meter{})
 
-	fmt.Printf("%-28s %12s %12s %14s\n", "path", "wall", "rows", "allocated")
+	report := benchReport{
+		SF: cfg.SF, RowsPerBlock: cfg.RowsPerBlock, Nodes: cfg.Nodes, BatchSize: exec.DefaultBatchSize,
+	}
+	if !jsonOut {
+		fmt.Printf("%-28s %12s %12s %14s %12s\n", "path", "wall", "rows", "allocated", "allocs")
+	}
 	measure := func(name string, run func() (int, error)) error {
 		runtime.GC()
 		var before, after runtime.MemStats
@@ -166,8 +197,18 @@ func runPipelineCompare(cfg experiments.Config) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		runtime.ReadMemStats(&after)
-		fmt.Printf("%-28s %12s %12d %14s\n", name, wall.Round(time.Millisecond), rows,
-			fmtBytes(after.TotalAlloc-before.TotalAlloc))
+		rec := benchRecord{
+			Op:          name,
+			Rows:        rows,
+			NsPerOp:     wall.Nanoseconds(),
+			AllocsPerOp: after.Mallocs - before.Mallocs,
+			BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+		}
+		report.Results = append(report.Results, rec)
+		if !jsonOut {
+			fmt.Printf("%-28s %12s %12d %14s %12d\n", name, wall.Round(time.Millisecond), rows,
+				fmtBytes(rec.BytesPerOp), rec.AllocsPerOp)
+		}
 		return nil
 	}
 
@@ -205,6 +246,11 @@ func runPipelineCompare(cfg experiments.Config) error {
 		if err := measure(s.name, s.run); err != nil {
 			return err
 		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
 	}
 	return nil
 }

@@ -170,3 +170,30 @@ func BenchmarkHyperJoinPipelined(b *testing.B) {
 		b.ReportMetric(float64(n), "rows")
 	}
 }
+
+// benchJoinWorkers measures the partition-parallel join at a fixed
+// worker count, streaming the probe side and aggregating without
+// materializing output — the scaling curve of the radix join core.
+func benchJoinWorkers(b *testing.B, workers int) {
+	env := benchTables(b)
+	ex := benchExecutor(env)
+	ex.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := ex.JoinOp(
+			ex.TableScanOp(env.ord, nil), tpch.OOrderKey,
+			ex.TableScanOp(env.line, nil), tpch.LOrderKey,
+			exec.JoinOptions{BuildIsRight: true, BuildCharge: exec.ChargeShuffle, ProbeCharge: exec.ChargeShuffle},
+		)
+		n, err := exec.Count(op)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "rows")
+	}
+}
+
+func BenchmarkShuffleJoinPipelinedWorkers1(b *testing.B) { benchJoinWorkers(b, 1) }
+func BenchmarkShuffleJoinPipelinedWorkers2(b *testing.B) { benchJoinWorkers(b, 2) }
+func BenchmarkShuffleJoinPipelinedWorkers4(b *testing.B) { benchJoinWorkers(b, 4) }

@@ -23,7 +23,11 @@
 // chunks stream through Open/Next/Close Operators — block scans
 // (ScanOp, TableScanOp), hash joins (JoinOp), hyper-joins
 // (NewHyperJoinOp), filters (Where) and in-memory sources (NewSource)
-// — with scans and hyper-join groups running on a bounded worker pool.
+// — with scans, hyper-join groups, and the radix-partitioned join's
+// build and probe phases all running on a bounded worker pool. Every
+// join path shares the specialized hash table of joinht.go (value.Hash64
+// keys, chained row indices, value.Equal collision checks, NULL keys
+// never matching).
 // The legacy slice-returning layer (Scan, ScanRefs, ShuffleJoin*,
 // HyperJoin) consists of thin Collect() adapters over those operators,
 // kept so the planner, experiments and baselines can stay

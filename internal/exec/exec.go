@@ -4,7 +4,6 @@
 package exec
 
 import (
-	"math"
 	"sort"
 
 	"adaptdb/internal/block"
@@ -74,9 +73,9 @@ func (e *Executor) Scan(tbl *core.Table, preds []predicate.Predicate) []tuple.Tu
 	return MustCollect(e.TableScanOp(tbl, preds))
 }
 
-// HashJoinRows joins two in-memory row sets with a hash join on integer-
-// comparable key columns, concatenating matching pairs. No metering —
-// callers meter the I/O that produced the inputs.
+// HashJoinRows joins two in-memory row sets with a single-threaded hash
+// join, concatenating matching pairs. Null join keys never match (NULL ≠
+// NULL). No metering — callers meter the I/O that produced the inputs.
 func HashJoinRows(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
 	if len(left) == 0 || len(right) == 0 {
 		return nil
@@ -90,23 +89,32 @@ func HashJoinRows(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
 		bCol, pCol = rCol, lCol
 		swapped = true
 	}
-	ht := make(map[string][]tuple.Tuple, len(build))
-	var keyBuf []byte
-	keyOf := func(t tuple.Tuple, col int) string {
-		keyBuf = t[col].AppendBinary(keyBuf[:0])
-		return string(keyBuf)
-	}
+	var buf joinBuf
 	for _, b := range build {
-		k := keyOf(b, bCol)
-		ht[k] = append(ht[k], b)
+		key := b[bCol]
+		if key.IsNull() {
+			continue // NULL never equals NULL in a join
+		}
+		buf.add(key.Hash64(), b)
 	}
+	ht := newJoinTable(bCol, &buf)
 	var out []tuple.Tuple
+	var arena tuple.Arena
 	for _, p := range probe {
-		for _, b := range ht[keyOf(p, pCol)] {
+		key := p[pCol]
+		if key.IsNull() {
+			continue
+		}
+		it := ht.lookup(key.Hash64(), key)
+		for {
+			b, ok := it.next()
+			if !ok {
+				break
+			}
 			if swapped {
-				out = append(out, tuple.Concat(p, b))
+				out = append(out, arena.Concat(p, b))
 			} else {
-				out = append(out, tuple.Concat(b, p))
+				out = append(out, arena.Concat(b, p))
 			}
 		}
 	}
@@ -228,27 +236,11 @@ func (e *Executor) HyperJoin(rRefs []core.BlockRef, rPreds []predicate.Predicate
 	return rows, op.Stats()
 }
 
-// hashKey folds a value into an int64 hash bucket key. Collisions are
-// resolved by tupleKeyEqual at probe time.
-func hashKey(v value.Value) int64 {
-	switch v.K {
-	case value.Int, value.Date, value.Bool:
-		return v.I
-	case value.Float:
-		return int64(math.Float64bits(v.F))
-	case value.String:
-		var h uint64 = 14695981039346656037
-		for i := 0; i < len(v.S); i++ {
-			h ^= uint64(v.S[i])
-			h *= 1099511628211
-		}
-		return int64(h)
-	default:
-		return 0
-	}
+// joinKeyEqual is SQL join-key equality: NULL never equals NULL (or
+// anything else), otherwise value equality.
+func joinKeyEqual(a, b value.Value) bool {
+	return !a.IsNull() && !b.IsNull() && value.Equal(a, b)
 }
-
-func tupleKeyEqual(a, b value.Value) bool { return value.Equal(a, b) }
 
 // NestedLoopJoin is the single-node oracle used by integration tests to
 // cross-check join strategies: no pruning, no metering, O(n·m).
@@ -256,7 +248,7 @@ func NestedLoopJoin(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
 	var out []tuple.Tuple
 	for _, l := range left {
 		for _, r := range right {
-			if tupleKeyEqual(l[lCol], r[rCol]) {
+			if joinKeyEqual(l[lCol], r[rCol]) {
 				out = append(out, tuple.Concat(l, r))
 			}
 		}

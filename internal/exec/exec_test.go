@@ -330,3 +330,49 @@ func TestExecutorWorkersOverride(t *testing.T) {
 		t.Errorf("single-worker scan lost rows")
 	}
 }
+
+func TestHyperJoinNullKeysNeverMatch(t *testing.T) {
+	// Regression: the old hyper-join bucketed NULL keys at hashKey()==0
+	// and tupleKeyEqual(NULL, NULL) was true, so NULL rows joined. Load
+	// tables whose join column is NULL on some rows and cross-check the
+	// (null-skipping) oracle.
+	store := dfs.NewStore(4, 2, 7)
+	meter := &cluster.Meter{}
+	lrows := genLineitem(1500, 41)
+	orows := genOrders(600, 42)
+	for i := 0; i < len(lrows); i += 5 {
+		lrows[i][0] = value.Value{}
+	}
+	for i := 0; i < len(orows); i += 7 {
+		orows[i][0] = value.Value{}
+	}
+	line, err := core.Load(store, "lineitem_nulls", lineSch, lrows, core.LoadOptions{
+		RowsPerBlock: 200, Seed: 3, JoinAttr: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := core.Load(store, "orders_nulls", orderSch, orows, core.LoadOptions{
+		RowsPerBlock: 100, Seed: 4, JoinAttr: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(store, meter)
+	got, _ := ex.HyperJoin(line.Refs(0, nil), nil, 0, ord.Refs(0, nil), nil, 0, 4)
+	want := NestedLoopJoin(lrows, orows, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("hyper join with null keys: %d rows, oracle %d", len(got), len(want))
+	}
+	for _, row := range got {
+		if row[0].IsNull() || row[3].IsNull() {
+			t.Fatalf("hyper join matched NULL keys: %v", row)
+		}
+	}
+	// The shuffle path over the same tables must agree.
+	meter.Reset()
+	shuffled := ex.ShuffleJoinTables(line, nil, 0, ord, nil, 0)
+	if len(shuffled) != len(want) {
+		t.Fatalf("shuffle join with null keys: %d rows, oracle %d", len(shuffled), len(want))
+	}
+}

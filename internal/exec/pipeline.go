@@ -31,18 +31,36 @@ const DefaultBatchSize = 1024
 
 // Batch is a fixed-capacity chunk of rows flowing between operators.
 // A batch received from Next is owned by the caller until it calls
-// Release; the rows themselves are shared, immutable views of block or
-// join-output tuples and must not be mutated.
+// Release; the rows are immutable and must not be mutated.
+//
+// Rows come in two lifetimes, reported by OwnsRows: view rows (scans,
+// sources) reference storage that outlives the batch, while owned rows
+// (join outputs) are carved from the batch's recycled value arena and
+// die at Release. Consumers that retain rows past Release must copy
+// owned rows first — Collect does. This is what lets a streaming join
+// produce zero garbage per row: the output arena cycles through the
+// batch pool instead of through the garbage collector.
 type Batch struct {
 	rows []tuple.Tuple
+	// vals is the batch-owned value arena AppendConcat carves output
+	// rows from; it is recycled (uncleared) with the batch.
+	vals tuple.Tuple
 	// pooled marks batches whose backing array the pool owns. Batches
 	// that alias caller-provided slices (Source views) are never
 	// recycled, so releasing them cannot corrupt the source rows.
 	pooled bool
+	// owned marks batches whose rows live in vals (see OwnsRows).
+	owned bool
 }
 
-// Rows returns the batch's rows. The slice is only valid until Release.
+// Rows returns the batch's rows. The slice is only valid until Release;
+// so are the rows themselves when OwnsRows reports true.
 func (b *Batch) Rows() []tuple.Tuple { return b.rows }
+
+// OwnsRows reports whether the rows are carved from the batch's own
+// storage and become invalid at Release. Consumers that retain such
+// rows must copy them first.
+func (b *Batch) OwnsRows() bool { return b.owned }
 
 // Len returns the number of rows in the batch.
 func (b *Batch) Len() int { return len(b.rows) }
@@ -51,8 +69,42 @@ func (b *Batch) Len() int { return len(b.rows) }
 func (b *Batch) Full() bool { return len(b.rows) == cap(b.rows) }
 
 // Append adds a row. Appending beyond capacity grows the batch rather
-// than failing; operators check Full() to keep batches fixed-size.
-func (b *Batch) Append(t tuple.Tuple) { b.rows = append(b.rows, t) }
+// than failing; operators check Full() to keep batches fixed-size. A
+// pooled batch that grows is un-pooled first, so the pool never
+// accumulates oversized backing arrays.
+func (b *Batch) Append(t tuple.Tuple) {
+	if b.pooled && len(b.rows) == cap(b.rows) {
+		b.pooled = false
+	}
+	b.rows = append(b.rows, t)
+}
+
+// AppendConcat carves x‖y into the batch's own value arena and appends
+// the row — the allocation-free emit path for join outputs. The arena
+// grows at most once per batch fill (sized for the remaining row
+// capacity) and is recycled with the batch; rows appended this way are
+// only valid until Release (see OwnsRows).
+func (b *Batch) AppendConcat(x, y tuple.Tuple) {
+	b.owned = true
+	n := len(x) + len(y)
+	if n == 0 {
+		b.Append(tuple.Tuple{})
+		return
+	}
+	if cap(b.vals)-len(b.vals) < n {
+		// Earlier rows keep the outgrown array alive until Release; the
+		// new array is sized so a uniform-width fill never regrows.
+		need := n * (cap(b.rows) - len(b.rows))
+		if need < n {
+			need = n
+		}
+		b.vals = make(tuple.Tuple, 0, need)
+	}
+	off := len(b.vals)
+	b.vals = append(b.vals, x...)
+	b.vals = append(b.vals, y...)
+	b.Append(b.vals[off : off+n : off+n])
+}
 
 var batchPool = sync.Pool{
 	New: func() any {
@@ -64,14 +116,19 @@ var batchPool = sync.Pool{
 func NewBatch() *Batch {
 	b := batchPool.Get().(*Batch)
 	b.rows = b.rows[:0]
+	b.owned = false
 	return b
 }
 
-// Release returns a pooled batch's backing array for reuse. Safe to call
-// on view batches (no-op) and required etiquette for every batch a
-// consumer finishes with — Collect and Count do it automatically.
+// Release returns a pooled batch's backing arrays (rows and value
+// arena) for reuse. Safe to call on view batches (no-op) and required
+// etiquette for every batch a consumer finishes with — Collect and
+// Count do it automatically. The arena is truncated, not cleared: stale
+// values linger until overwritten, a bounded retention the zero-GC emit
+// path deliberately trades for.
 func (b *Batch) Release() {
 	if b.pooled {
+		b.vals = b.vals[:0]
 		batchPool.Put(b)
 	}
 }
@@ -91,13 +148,16 @@ type Operator interface {
 }
 
 // Collect drains an operator into a materialized row slice — the bridge
-// from the pipelined world back to the legacy slice APIs.
+// from the pipelined world back to the legacy slice APIs. Rows owned by
+// their batch (join outputs) are copied out through an arena before the
+// batch is released; view rows are referenced directly.
 func Collect(op Operator) ([]tuple.Tuple, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
 	defer op.Close()
 	var out []tuple.Tuple
+	var arena tuple.Arena
 	for {
 		b, err := op.Next()
 		if err != nil {
@@ -106,7 +166,13 @@ func Collect(op Operator) ([]tuple.Tuple, error) {
 		if b == nil {
 			return out, nil
 		}
-		out = append(out, b.rows...)
+		if b.OwnsRows() {
+			for _, r := range b.rows {
+				out = append(out, arena.Concat(r, nil))
+			}
+		} else {
+			out = append(out, b.rows...)
+		}
 		b.Release()
 	}
 }
@@ -344,9 +410,16 @@ func (f *filterOp) Next() (*Batch, error) {
 			return nil, err
 		}
 		out := NewBatch()
+		owned := in.OwnsRows()
 		for _, r := range in.Rows() {
 			if predicate.MatchesAll(f.preds, r) {
-				out.Append(r)
+				if owned {
+					// The child batch's rows die when it is released;
+					// carve survivors into this batch's own arena.
+					out.AppendConcat(r, nil)
+				} else {
+					out.Append(r)
+				}
 			}
 		}
 		in.Release()
@@ -385,11 +458,27 @@ type JoinOptions struct {
 	BuildCharge, ProbeCharge JoinCharge
 }
 
-// JoinOp returns a pipelined hash join: Open drains the build input into
-// a hash table, then Next streams probe batches through it, emitting
-// concatenated match rows. Result rows are metered once at end of
-// stream. The probe side is never materialized — this is where the
-// pipeline beats the slice APIs on wide joins.
+// Radix partitioning constants for the parallel hash join: the top
+// joinRadixBits of a key's Hash64 pick its partition, leaving the low
+// bits (which index the partition table's buckets) uniform within each
+// partition. 32 partitions oversplit the default worker pools (≤ ~10
+// workers) for load balance while keeping per-partition tables
+// cache-friendly.
+const (
+	joinRadixBits  = 5
+	joinPartitions = 1 << joinRadixBits
+	joinRadixShift = 64 - joinRadixBits
+)
+
+// JoinOp returns a pipelined, partition-parallel hash join: Open drains
+// the build input, radix-partitioning rows by key hash across the
+// executor's worker pool and sealing one joinTable per partition; Next
+// then streams probe batches through the tables, with probe workers
+// emitting concatenated match rows into partition-local output batches
+// (per-worker arenas, no per-row allocation). Result rows are metered
+// once at end of stream. The probe side is never materialized — this is
+// where the pipeline beats the slice APIs on wide joins. Output batch
+// order is nondeterministic when more than one worker runs.
 func (e *Executor) JoinOp(build Operator, buildCol int, probe Operator, probeCol int, opts JoinOptions) Operator {
 	return &hashJoinOp{e: e, build: build, probe: probe, bCol: buildCol, pCol: probeCol, opts: opts}
 }
@@ -400,12 +489,17 @@ type hashJoinOp struct {
 	bCol, pCol   int
 	opts         JoinOptions
 
-	ht      map[string][]tuple.Tuple
-	keyBuf  []byte
-	queue   []*Batch // full output batches not yet handed out
-	cur     *Batch   // partial output batch being filled
-	eos     bool
-	results int
+	parts     [joinPartitions]*joinTable
+	buildRows int
+
+	in      chan *Batch // probe batches awaiting a worker
+	out     chan *Batch // output batches awaiting the consumer
+	done    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+	results atomic.Int64
+	perr    error // probe-side error; published before in closes
+	metered bool
 }
 
 func (j *hashJoinOp) charge(c JoinCharge, rows int) {
@@ -417,97 +511,249 @@ func (j *hashJoinOp) charge(c JoinCharge, rows int) {
 	}
 }
 
+func (j *hashJoinOp) workerCount() int {
+	w := j.e.workers()
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 func (j *hashJoinOp) Open() error {
 	if err := j.build.Open(); err != nil {
 		return err
 	}
-	j.ht = make(map[string][]tuple.Tuple)
+	if err := j.buildTables(); err != nil {
+		return err
+	}
+	if err := j.probe.Open(); err != nil {
+		return err
+	}
+	w := j.workerCount()
+	j.in = make(chan *Batch, w)
+	// The out buffer bounds how far probe workers run ahead of the
+	// consumer, like the scan operator's bounded channel.
+	j.out = make(chan *Batch, 2*w)
+	j.done = make(chan struct{})
+	for i := 0; i < w; i++ {
+		j.wg.Add(1)
+		go j.probeWorker()
+	}
+	go func() {
+		j.wg.Wait()
+		close(j.out)
+	}()
+	go j.dispatchProbe()
+	return nil
+}
+
+// buildTables drains the build input, partitioning rows by hash radix
+// across the worker pool (each worker owns one joinBuf per partition, so
+// no locks), then seals one joinTable per partition in parallel.
+func (j *hashJoinOp) buildTables() error {
+	w := j.workerCount()
+	bufs := make([][]joinBuf, w)
+	in := make(chan *Batch, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		bufs[i] = make([]joinBuf, joinPartitions)
+		wg.Add(1)
+		go func(my []joinBuf) {
+			defer wg.Done()
+			var arena tuple.Arena
+			for b := range in {
+				owned := b.OwnsRows()
+				for _, r := range b.Rows() {
+					key := r[j.bCol]
+					if key.IsNull() {
+						continue // NULL never equals NULL in a join
+					}
+					if owned {
+						// The batch's rows die at Release (a join feeding
+						// this join's build side); copy what the table
+						// retains.
+						r = arena.Concat(r, nil)
+					}
+					h := key.Hash64()
+					my[h>>joinRadixShift].add(h, r)
+				}
+				b.Release()
+			}
+		}(bufs[i])
+	}
+	// A single goroutine owns build.Next (operators need not be
+	// concurrency-safe) and meters batches as they enter the join.
+	var err error
 	for {
-		b, err := j.build.Next()
-		if err != nil {
-			j.build.Close()
-			return err
+		b, berr := j.build.Next()
+		if berr != nil {
+			err = berr
+			break
 		}
 		if b == nil {
 			break
 		}
 		j.charge(j.opts.BuildCharge, b.Len())
-		for _, r := range b.Rows() {
-			j.keyBuf = r[j.bCol].AppendBinary(j.keyBuf[:0])
-			j.ht[string(j.keyBuf)] = append(j.ht[string(j.keyBuf)], r)
-		}
-		b.Release()
+		in <- b
 	}
-	if err := j.build.Close(); err != nil {
+	close(in)
+	wg.Wait()
+	if cerr := j.build.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		return err
 	}
-	return j.probe.Open()
-}
-
-// emit appends one output row, rotating full batches into the queue.
-func (j *hashJoinOp) emit(row tuple.Tuple) {
-	if j.cur == nil {
-		j.cur = NewBatch()
-	}
-	j.cur.Append(row)
-	j.results++
-	if j.cur.Full() {
-		j.queue = append(j.queue, j.cur)
-		j.cur = nil
-	}
-}
-
-func (j *hashJoinOp) Next() (*Batch, error) {
-	for {
-		if len(j.queue) > 0 {
-			b := j.queue[0]
-			j.queue = j.queue[1:]
-			return b, nil
-		}
-		if j.eos {
-			return nil, nil
-		}
-		pb, err := j.probe.Next()
-		if err != nil {
-			return nil, err
-		}
-		if pb == nil {
-			j.eos = true
-			j.e.Meter.AddResultRows(j.results)
-			if j.cur != nil && j.cur.Len() > 0 {
-				b := j.cur
-				j.cur = nil
-				return b, nil
+	// Seal tables: partitions are handed to workers via an atomic
+	// counter; each table merges the same partition's buffer from every
+	// build worker.
+	var next atomic.Int64
+	var swg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			srcs := make([]*joinBuf, w)
+			for {
+				p := int(next.Add(1) - 1)
+				if p >= joinPartitions {
+					return
+				}
+				for wi := range bufs {
+					srcs[wi] = &bufs[wi][p]
+				}
+				j.parts[p] = newJoinTable(j.bCol, srcs...)
 			}
-			return nil, nil
+		}()
+	}
+	swg.Wait()
+	for _, t := range j.parts {
+		j.buildRows += t.len()
+	}
+	return nil
+}
+
+// dispatchProbe feeds probe batches to the workers. A single goroutine
+// owns probe.Next and meters each batch as it enters the join; even
+// with an empty hash table the probe side drains so its rows are
+// metered, matching ShuffleJoinRows on an empty side.
+func (j *hashJoinOp) dispatchProbe() {
+	defer close(j.in)
+	for {
+		b, err := j.probe.Next()
+		if err != nil {
+			j.perr = err
+			return
 		}
-		j.charge(j.opts.ProbeCharge, pb.Len())
-		// Even with an empty hash table the probe side must drain so its
-		// rows are metered, matching ShuffleJoinRows on an empty side.
+		if b == nil {
+			return
+		}
+		j.charge(j.opts.ProbeCharge, b.Len())
+		select {
+		case j.in <- b:
+		case <-j.done:
+			b.Release()
+			return
+		}
+	}
+}
+
+// probeWorker streams probe batches through the partition tables,
+// concatenating matches into a partition-local output batch's own value
+// arena (AppendConcat — no per-row allocation, and the arena recycles
+// through the batch pool). The worker owns cur exclusively until it
+// rotates a full batch into the shared out channel, so output batches
+// are never written by two goroutines.
+func (j *hashJoinOp) probeWorker() {
+	defer j.wg.Done()
+	var cur *Batch
+	for pb := range j.in {
+		if j.buildRows == 0 {
+			pb.Release() // metered by the dispatcher; nothing can match
+			continue
+		}
 		for _, p := range pb.Rows() {
-			j.keyBuf = p[j.pCol].AppendBinary(j.keyBuf[:0])
-			for _, b := range j.ht[string(j.keyBuf)] {
+			key := p[j.pCol]
+			if key.IsNull() {
+				continue // NULL never equals NULL in a join
+			}
+			h := key.Hash64()
+			it := j.parts[h>>joinRadixShift].lookup(h, key)
+			for {
+				b, ok := it.next()
+				if !ok {
+					break
+				}
+				if cur == nil {
+					cur = NewBatch()
+				}
 				if j.opts.BuildIsRight {
-					j.emit(tuple.Concat(p, b))
+					cur.AppendConcat(p, b)
 				} else {
-					j.emit(tuple.Concat(b, p))
+					cur.AppendConcat(b, p)
+				}
+				if cur.Full() {
+					if !j.send(cur) {
+						pb.Release()
+						return
+					}
+					cur = nil
 				}
 			}
 		}
 		pb.Release()
 	}
+	if cur != nil {
+		if cur.Len() > 0 {
+			j.send(cur)
+		} else {
+			cur.Release()
+		}
+	}
+}
+
+func (j *hashJoinOp) send(b *Batch) bool {
+	j.results.Add(int64(b.Len()))
+	select {
+	case j.out <- b:
+		return true
+	case <-j.done:
+		b.Release()
+		return false
+	}
+}
+
+func (j *hashJoinOp) Next() (*Batch, error) {
+	b, ok := <-j.out
+	if !ok {
+		// out closes only after every worker exits, which happens after
+		// the dispatcher published any probe error and closed in.
+		if j.perr != nil {
+			return nil, j.perr
+		}
+		if !j.metered {
+			j.metered = true
+			j.e.Meter.AddResultRows(int(j.results.Load()))
+		}
+		return nil, nil
+	}
+	return b, nil
 }
 
 func (j *hashJoinOp) Close() error {
-	for _, b := range j.queue {
-		b.Release()
+	j.once.Do(func() {
+		if j.done != nil {
+			close(j.done)
+			// Drain so no worker stays blocked on send; the closer
+			// goroutine closes out once every worker exits.
+			for b := range j.out {
+				b.Release()
+			}
+		}
+	})
+	for i := range j.parts {
+		j.parts[i] = nil
 	}
-	j.queue = nil
-	if j.cur != nil {
-		j.cur.Release()
-		j.cur = nil
-	}
-	j.ht = nil
 	return j.probe.Close()
 }
 
@@ -595,27 +841,30 @@ func (h *HyperJoinOp) worker() {
 	}
 }
 
-// runGroup executes one group of the §4.1 algorithm: build a hash table
+// runGroup executes one group of the §4.1 algorithm: build a join table
 // over the group's R blocks, probe it with every overlapping S block,
 // streaming output batches. Returns false when the operator was closed.
 func (h *HyperJoinOp) runGroup(group []int) bool {
 	// The group's task runs where its first R block lives.
 	node := h.e.taskNode(h.rRefs[group[0]].Path)
-	ht := make(map[int64][]tuple.Tuple)
-	built := 0
+	var buf joinBuf
 	for _, i := range group {
 		blk, local, err := h.e.Store.GetBlock(h.rRefs[i].Path, node)
 		if err != nil {
 			continue
 		}
 		h.e.Meter.AddBuild(blk.Len(), local)
-		built++
 		for _, r := range blk.Tuples {
 			if predicate.MatchesAll(h.rPreds, r) {
-				ht[hashKey(r[h.rCol])] = append(ht[hashKey(r[h.rCol])], r)
+				key := r[h.rCol]
+				if key.IsNull() {
+					continue // NULL never equals NULL in a join
+				}
+				buf.add(key.Hash64(), r)
 			}
 		}
 	}
+	ht := newJoinTable(h.rCol, &buf)
 	// Probe phase: only overlapping S blocks.
 	union := hyperjoin.Union(h.plan.V, group)
 	probed := 0
@@ -634,15 +883,22 @@ func (h *HyperJoinOp) runGroup(group []int) bool {
 			if !predicate.MatchesAll(h.sPreds, s) {
 				continue
 			}
-			for _, r := range ht[hashKey(s[h.sCol])] {
-				if tupleKeyEqual(r[h.rCol], s[h.sCol]) {
-					b.Append(tuple.Concat(r, s))
-					if b.Full() {
-						if !h.send(b) {
-							return false
-						}
-						b = NewBatch()
+			key := s[h.sCol]
+			if key.IsNull() {
+				continue // NULL never equals NULL in a join
+			}
+			it := ht.lookup(key.Hash64(), key)
+			for {
+				r, ok := it.next()
+				if !ok {
+					break
+				}
+				b.AppendConcat(r, s)
+				if b.Full() {
+					if !h.send(b) {
+						return false
 					}
+					b = NewBatch()
 				}
 			}
 		}

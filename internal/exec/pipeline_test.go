@@ -261,3 +261,232 @@ func TestCollectAndCountAgree(t *testing.T) {
 		t.Errorf("Count = %d, Collect = %d rows", n, len(rows))
 	}
 }
+
+func TestBatchAppendBeyondCapacityUnpools(t *testing.T) {
+	// Growing a pooled batch past DefaultBatchSize must un-pool it:
+	// otherwise the pool silently accumulates oversized backing arrays.
+	b := NewBatch()
+	if !b.pooled {
+		t.Fatal("NewBatch returned an un-pooled batch")
+	}
+	row := tuple.Tuple{value.NewInt(1)}
+	for i := 0; i < DefaultBatchSize; i++ {
+		b.Append(row)
+	}
+	if !b.pooled {
+		t.Fatal("batch un-pooled before exceeding capacity")
+	}
+	b.Append(row) // grows past capacity
+	if b.pooled {
+		t.Error("grown batch still pooled — oversized array would enter the pool")
+	}
+	if b.Len() != DefaultBatchSize+1 {
+		t.Errorf("grown batch len %d, want %d", b.Len(), DefaultBatchSize+1)
+	}
+	b.Release() // must be a no-op now
+	// Pool round-trips must keep handing out DefaultBatchSize arrays.
+	for i := 0; i < 8; i++ {
+		nb := NewBatch()
+		if cap(nb.rows) != DefaultBatchSize {
+			t.Fatalf("pool handed out a batch with cap %d, want %d", cap(nb.rows), DefaultBatchSize)
+		}
+		nb.Release()
+	}
+}
+
+// nullableRows builds rows whose join key (column 0) is NULL every
+// nullEvery-th row, tagged in column 1.
+func nullableRows(n, nullEvery int, keyMod int64, tagBase int64) []tuple.Tuple {
+	rows := make([]tuple.Tuple, n)
+	for i := range rows {
+		key := value.NewInt(int64(i) % keyMod)
+		if nullEvery > 0 && i%nullEvery == 0 {
+			key = value.Value{}
+		}
+		rows[i] = tuple.Tuple{key, value.NewInt(tagBase + int64(i))}
+	}
+	return rows
+}
+
+func TestJoinOpNullKeysNeverMatch(t *testing.T) {
+	// Regression: the old map[string] join keyed NULL's binary encoding
+	// like any other value, so NULL build rows matched NULL probe rows.
+	l := nullableRows(400, 3, 50, 0)
+	r := nullableRows(300, 4, 50, 10000)
+	store := dfs.NewStore(2, 1, 1)
+	ex := New(store, &cluster.Meter{})
+	got, err := Collect(ex.JoinOp(NewSource(l), 0, NewSource(r), 0, JoinOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NestedLoopJoin(l, r, 0, 0) // oracle skips null keys
+	if len(got) != len(want) {
+		t.Fatalf("join with null keys: %d rows, oracle %d", len(got), len(want))
+	}
+	for _, row := range got {
+		if row[0].IsNull() || row[2].IsNull() {
+			t.Fatalf("output row joined on a NULL key: %v", row)
+		}
+	}
+}
+
+func TestHashJoinRowsNullKeysNeverMatch(t *testing.T) {
+	l := nullableRows(200, 2, 30, 0)
+	r := nullableRows(150, 5, 30, 10000)
+	got := HashJoinRows(l, r, 0, 0)
+	want := NestedLoopJoin(l, r, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("HashJoinRows with null keys: %d rows, oracle %d", len(got), len(want))
+	}
+	for _, row := range got {
+		if row[0].IsNull() || row[2].IsNull() {
+			t.Fatalf("HashJoinRows joined on a NULL key: %v", row)
+		}
+	}
+	// All-null sides join to nothing.
+	allNull := nullableRows(50, 1, 30, 0)
+	if out := HashJoinRows(allNull, allNull, 0, 0); len(out) != 0 {
+		t.Errorf("all-null join produced %d rows, want 0", len(out))
+	}
+}
+
+func TestAppendConcatCarvesOwnedRows(t *testing.T) {
+	b := NewBatch()
+	if b.OwnsRows() {
+		t.Fatal("fresh batch claims to own rows")
+	}
+	x := tuple.Tuple{value.NewInt(1), value.NewString("a")}
+	y := tuple.Tuple{value.NewInt(2)}
+	b.AppendConcat(x, y)
+	b.AppendConcat(y, x)
+	if !b.OwnsRows() {
+		t.Fatal("AppendConcat did not mark the batch as owning its rows")
+	}
+	rows := b.Rows()
+	if len(rows) != 2 || len(rows[0]) != 3 || len(rows[1]) != 3 {
+		t.Fatalf("carved rows malformed: %v", rows)
+	}
+	want := tuple.Concat(x, y)
+	for c := range want {
+		if value.Compare(rows[0][c], want[c]) != 0 {
+			t.Fatalf("carved row differs from Concat at column %d", c)
+		}
+	}
+	// Carved rows are capacity-clipped: appending reallocates rather
+	// than clobbering the neighbour row.
+	_ = append(rows[0], value.NewInt(99))
+	if rows[1][0].Int64() != 2 {
+		t.Fatalf("append to carved row corrupted its neighbour: %v", rows[1])
+	}
+	b.Release()
+}
+
+func TestOutputBatchArenaRecycles(t *testing.T) {
+	// An owned batch released and reacquired must produce correct fresh
+	// rows from its recycled arena.
+	row := tuple.Tuple{value.NewInt(7)}
+	for i := 0; i < 3; i++ {
+		b := NewBatch()
+		for k := 0; k < DefaultBatchSize; k++ {
+			b.AppendConcat(row, row)
+		}
+		for k, r := range b.Rows() {
+			if len(r) != 2 || r[0].Int64() != 7 || r[1].Int64() != 7 {
+				t.Fatalf("round %d row %d corrupted: %v", i, k, r)
+			}
+		}
+		b.Release()
+	}
+}
+
+func TestCollectCopiesOwnedRows(t *testing.T) {
+	// Rows Collect returns from a join must stay valid after the join's
+	// batches are released and their arenas recycled by other operators.
+	l := genLineitem(4000, 28)
+	r := genOrders(2000, 29)
+	store := dfs.NewStore(2, 1, 1)
+	ex := New(store, &cluster.Meter{})
+	got, err := Collect(ex.JoinOp(NewSource(r), 0, NewSource(l), 0, JoinOptions{BuildIsRight: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn the batch pool so recycled join arenas get overwritten.
+	junk := tuple.Tuple{value.NewInt(-777), value.NewInt(-777), value.NewInt(-777), value.NewInt(-777), value.NewInt(-777), value.NewInt(-777)}
+	for i := 0; i < 64; i++ {
+		b := NewBatch()
+		for k := 0; k < DefaultBatchSize; k++ {
+			b.AppendConcat(junk, junk)
+		}
+		b.Release()
+	}
+	for i, row := range got {
+		for _, v := range row {
+			if v.K == value.Int && v.Int64() == -777 {
+				t.Fatalf("collected row %d was clobbered by arena reuse: %v", i, row)
+			}
+		}
+	}
+	want := HashJoinRows(l, r, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("join returned %d rows, want %d", len(got), len(want))
+	}
+}
+
+func TestWhereOverJoinOutputKeepsRowsValid(t *testing.T) {
+	// Where repacks join-output batches; the repacked rows must survive
+	// the source batch's release (filterOp carves copies).
+	l := genLineitem(3000, 33)
+	r := genOrders(1500, 34)
+	store := dfs.NewStore(2, 1, 1)
+	ex := New(store, &cluster.Meter{})
+	join := ex.JoinOp(NewSource(r), 0, NewSource(l), 0, JoinOptions{BuildIsRight: true})
+	preds := []predicate.Predicate{predicate.NewCmp(2, predicate.LT, value.NewInt(1200))}
+	got, err := Collect(Where(join, preds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, row := range HashJoinRows(l, r, 0, 0) {
+		if row[2].Int64() < 1200 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Where over join kept %d rows, want %d", len(got), want)
+	}
+	for _, row := range got {
+		if row[2].Int64() >= 1200 {
+			t.Fatalf("non-matching row survived: %v", row)
+		}
+	}
+}
+
+func TestJoinOverJoinBuildSideOwnedRows(t *testing.T) {
+	// Regression: a join whose BUILD side is another join receives
+	// owned-row batches; the build must copy those rows before releasing
+	// the batch, or recycled arenas corrupt the hash table.
+	a := genLineitem(2000, 51)
+	b := genOrders(1500, 52)
+	c := genOrders(2500, 53)
+	store := dfs.NewStore(2, 1, 1)
+	ex := New(store, &cluster.Meter{})
+	inner := ex.JoinOp(NewSource(b), 0, NewSource(a), 0, JoinOptions{BuildIsRight: true})
+	outer := ex.JoinOp(inner, 0, NewSource(c), 0, JoinOptions{})
+	got, err := Collect(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HashJoinRows(HashJoinRows(a, b, 0, 0), c, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("join-over-join returned %d rows, oracle %d", len(got), len(want))
+	}
+	SortRows(got)
+	SortRows(want)
+	for i := range got {
+		for col := range got[i] {
+			if value.Compare(got[i][col], want[i][col]) != 0 {
+				t.Fatalf("row %d differs from oracle — owned build rows corrupted", i)
+			}
+		}
+	}
+}

@@ -28,5 +28,9 @@
 //
 // Execution is delegated to internal/exec; the planner composes its
 // batched operators (TableScanOp, JoinOp, HyperJoin) per the strategy
-// decision.
+// decision. Whatever strategy wins, the data plane underneath is the
+// same parallel radix-partitioned hash join core (exec/joinht.go), so
+// strategy choice changes I/O metering and block schedules, never join
+// semantics: output column order follows the plan's (left, right) via
+// JoinOptions.BuildIsRight, and NULL join keys never match.
 package planner

@@ -207,6 +207,53 @@ func Max(a, b Value) Value {
 	return b
 }
 
+// Hash64 returns a 64-bit hash of v, consistent with Equal: values equal
+// under Compare hash identically (including +0.0 vs -0.0 and any two
+// NaNs, which Compare treats as equal), and the Kind is mixed in so
+// values of different kinds — never equal under Compare — rarely
+// collide. Unlike AppendBinary-based keying, hashing touches no heap:
+// numeric kinds finalize the payload with one multiply-shift mix and
+// strings run FNV-1a. The join hash table keys on Hash64 and resolves
+// residual collisions with Equal.
+func (v Value) Hash64() uint64 {
+	const kindSalt = 0x9e3779b97f4a7c15 // 2^64/φ, spreads small Kind ints
+	switch v.K {
+	case Int, Date, Bool:
+		return mix64(uint64(v.I) ^ uint64(v.K)*kindSalt)
+	case Float:
+		f := v.F
+		if f == 0 {
+			f = 0 // -0.0 == +0.0 under Compare; fold to one bit pattern
+		}
+		bits := math.Float64bits(f)
+		if f != f {
+			bits = math.Float64bits(math.NaN()) // all NaNs compare equal
+		}
+		return mix64(bits ^ uint64(v.K)*kindSalt)
+	case String:
+		h := uint64(14695981039346656037) ^ uint64(v.K)*kindSalt
+		for i := 0; i < len(v.S); i++ {
+			h ^= uint64(v.S[i])
+			h *= 1099511628211
+		}
+		return mix64(h)
+	default: // Null: joins skip null keys, any constant works
+		return kindSalt
+	}
+}
+
+// mix64 is the splitmix64 finalizer — a cheap bijective avalanche so
+// both the high bits (radix partitioning) and low bits (bucket index)
+// of a hash are uniform even for dense integer keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // AppendBinary appends a self-describing encoding of v to dst and returns
 // the extended slice. The format is: 1 byte kind, then a kind-specific
 // payload (varint for Int/Date/Bool, 8-byte IEEE754 for Float, uvarint

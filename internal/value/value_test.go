@@ -241,3 +241,75 @@ func TestAppendBinaryConcatenated(t *testing.T) {
 		t.Fatalf("trailing bytes: consumed %d of %d", pos, len(buf))
 	}
 }
+
+func TestHash64EqualValuesHashEqual(t *testing.T) {
+	// Equal under Compare must imply equal hashes — including the float
+	// edge cases Compare treats as equal.
+	pairs := [][2]Value{
+		{NewInt(42), NewInt(42)},
+		{NewString("orderkey"), NewString("order" + "key")},
+		{NewDate(20000), NewDate(20000)},
+		{NewBool(true), NewBool(true)},
+		{NewFloat(0.0), NewFloat(math.Copysign(0, -1))}, // +0.0 vs -0.0
+		{NewFloat(math.NaN()), NewFloat(-math.NaN())},   // NaNs compare equal
+		{{}, {}},
+	}
+	for _, p := range pairs {
+		if Compare(p[0], p[1]) != 0 {
+			t.Fatalf("test bug: %v and %v not Compare-equal", p[0], p[1])
+		}
+		if p[0].Hash64() != p[1].Hash64() {
+			t.Errorf("Hash64(%v) != Hash64(%v) for Compare-equal values", p[0], p[1])
+		}
+	}
+}
+
+func TestHash64MixesKind(t *testing.T) {
+	// Int 5, Date 5, Bool 1/Int 1, Float 5.0 are never Equal across
+	// kinds, and the kind salt should keep their hashes apart too.
+	groups := []Value{NewInt(5), NewDate(5), NewFloat(5), NewBool(true), NewInt(1), NewString("5")}
+	seen := map[uint64]Value{}
+	for _, v := range groups {
+		h := v.Hash64()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("Hash64 collision across kinds: %v (%s) and %v (%s)", prev, prev.K, v, v.K)
+		}
+		seen[h] = v
+	}
+}
+
+func TestHash64DistributionOverDenseInts(t *testing.T) {
+	// Dense integer keys (the common join-key shape) must spread over
+	// both the high bits (radix partition) and low bits (bucket index).
+	const n = 1 << 12
+	hi := map[uint64]int{}
+	lo := map[uint64]int{}
+	all := map[uint64]bool{}
+	for i := int64(0); i < n; i++ {
+		h := NewInt(i).Hash64()
+		all[h] = true
+		hi[h>>59]++
+		lo[h&63]++
+	}
+	if len(all) != n {
+		t.Errorf("dense ints collided: %d distinct hashes of %d", len(all), n)
+	}
+	// Every one of the 32 high-bit partitions and 64 low-bit buckets
+	// should be hit, and none should hog more than 4x its fair share.
+	if len(hi) != 32 || len(lo) != 64 {
+		t.Fatalf("partitions hit: hi=%d/32 lo=%d/64", len(hi), len(lo))
+	}
+	for p, c := range hi {
+		if c > 4*n/32 {
+			t.Errorf("high-bit partition %d has %d of %d hashes", p, c, n)
+		}
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	for _, v := range []Value{NewInt(-7), NewFloat(2.5), NewString("abc"), NewDate(123), NewBool(false), {}} {
+		if v.Hash64() != v.Hash64() {
+			t.Errorf("Hash64(%v) not deterministic", v)
+		}
+	}
+}
