@@ -9,6 +9,8 @@
 //	adaptdb-bench -list           # list experiments
 //	adaptdb-bench -pipeline -sf 0.1   # materialized vs pipelined executor
 //	adaptdb-bench -json -sf 0.01      # machine-readable pipeline results
+//	adaptdb-bench -session -sf 0.01   # adaptive session replay, on vs off
+//	adaptdb-bench -session -json      # per-operator records (BENCH_PR3.json)
 package main
 
 import (
@@ -64,7 +66,8 @@ func main() {
 		fig      = flag.String("fig", "", "run a single experiment (e.g. fig12); empty = all")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		pipeline = flag.Bool("pipeline", false, "compare materialized vs pipelined executor paths and exit")
-		jsonOut  = flag.Bool("json", false, "emit the pipeline comparison as machine-readable JSON (implies -pipeline); track results in BENCH_*.json")
+		sess     = flag.Bool("session", false, "replay a join-attribute-shifting TPC-H stream through adaptive sessions (adaptation on vs off) and exit")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (implies -pipeline, or the session replay with -session); track results in BENCH_*.json")
 		sf       = flag.Float64("sf", 0, "TPC-H micro scale factor (default 0.002)")
 		rpb      = flag.Int("rows-per-block", 0, "rows per block (default 256)")
 		budget   = flag.Int("budget", 0, "hyper-join buffer in blocks (default 8)")
@@ -97,6 +100,13 @@ func main() {
 		f17.MaxSteps = *ilpSteps
 	}
 
+	if *sess {
+		if err := runSessionCompare(cfg, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "session: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *pipeline || *jsonOut {
 		if err := runPipelineCompare(cfg, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "pipeline: %v\n", err)

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/experiments"
+	"adaptdb/internal/optimizer"
+	"adaptdb/internal/session"
+	"adaptdb/internal/tpch"
+)
+
+// sessionOpRecord is one per-operator measurement from a session query:
+// how many rows/batches flowed out of the operator and the inclusive
+// wall time spent in it. These are the records BENCH_PR3.json tracks.
+type sessionOpRecord struct {
+	Mode     string `json:"mode"`
+	Query    int    `json:"query"`
+	Template string `json:"template"`
+	Op       string `json:"op"`
+	Rows     int64  `json:"rows"`
+	Batches  int64  `json:"batches"`
+	WallNs   int64  `json:"wall_ns"`
+}
+
+// sessionQueryRecord summarizes one query of the replayed stream.
+type sessionQueryRecord struct {
+	Mode       string   `json:"mode"`
+	Query      int      `json:"query"`
+	Template   string   `json:"template"`
+	Strategies []string `json:"strategies"`
+	Rows       int      `json:"rows"`
+	SimSeconds float64  `json:"sim_s"`
+	MovedRows  int      `json:"moved_rows"`
+}
+
+// sessionModeSummary aggregates one full replay (adaptation on or off).
+type sessionModeSummary struct {
+	Mode         string  `json:"mode"`
+	SimSeconds   float64 `json:"sim_s"`
+	WallMs       int64   `json:"wall_ms"`
+	MovedRows    int     `json:"moved_rows"`
+	TreesCreated int     `json:"trees_created"`
+	ResultRows   int     `json:"result_rows"`
+}
+
+// sessionReport is the machine-readable output of -session -json.
+type sessionReport struct {
+	SF           float64              `json:"sf"`
+	RowsPerBlock int                  `json:"rows_per_block"`
+	Nodes        int                  `json:"nodes"`
+	Window       int                  `json:"window"`
+	Budget       int                  `json:"budget"`
+	Schedule     []string             `json:"schedule"`
+	Modes        []sessionModeSummary `json:"modes"`
+	SimSpeedup   float64              `json:"sim_speedup"`
+	Queries      []sessionQueryRecord `json:"queries"`
+	Ops          []sessionOpRecord    `json:"ops"`
+}
+
+// sessionSchedule is the join-attribute-shifting stream: an orderkey
+// phase (q5 joins lineitem⋈orders⋈customer with no lineitem filter,
+// q3 the same shape filtered) followed by a partkey phase (q8's bushy
+// (lineitem⋈part)⋈(orders⋈customer) plan, again unfiltered on
+// lineitem, and q14) — the §7.3 shift compressed to bench size. The
+// join-dominated templates are where co-partitioning pays; selective
+// templates (q6/q12/q19) are already well served by zone-map pruning.
+func sessionSchedule() []tpch.Template {
+	var out []tpch.Template
+	for i := 0; i < 24; i++ {
+		out = append(out, []tpch.Template{tpch.Q5, tpch.Q3}[i%2])
+	}
+	for i := 0; i < 24; i++ {
+		out = append(out, []tpch.Template{tpch.Q8, tpch.Q14}[i%2])
+	}
+	return out
+}
+
+// runSessionCompare replays the same TPC-H query stream through two
+// sessions — adaptation on (smooth repartitioning) and off (static
+// random partitioning) — over identical data and query parameters, and
+// reports per-query strategies, per-operator stats, and the total
+// simulated time of each mode.
+func runSessionCompare(cfg experiments.Config, jsonOut bool) error {
+	// |W|=5 (the small end of the Fig. 15 sweep): the migration fraction
+	// ramps by n/|W| per query, so a short window converges in ~5
+	// queries — at bench-sized phases (24 queries vs the paper's 100+)
+	// that leaves room for co-partitioned steady state to amortize the
+	// transition. The speedup grows with phase length.
+	const window = 5
+	schedule := sessionSchedule()
+	data := tpch.Generate(cfg.SF, cfg.Seed)
+	// Fold -nodes into the cost model, as the experiment harness does,
+	// so SimSeconds are priced on the cluster the blocks actually
+	// spread over.
+	model := cfg.Model
+	if model.Nodes == 0 {
+		model = cluster.Default()
+	}
+	if cfg.Nodes > 0 {
+		model.Nodes = cfg.Nodes
+	}
+
+	report := sessionReport{
+		SF: cfg.SF, RowsPerBlock: cfg.RowsPerBlock, Nodes: cfg.Nodes,
+		Window: window, Budget: cfg.Budget,
+	}
+	for _, tpl := range schedule {
+		report.Schedule = append(report.Schedule, string(tpl))
+	}
+	if !jsonOut {
+		fmt.Printf("adaptive session replay (SF=%.4g, rows/block=%d, %d nodes, |W|=%d, %d queries: orderkey→partkey shift)\n\n",
+			cfg.SF, cfg.RowsPerBlock, cfg.Nodes, window, len(schedule))
+	}
+
+	for _, mode := range []struct {
+		name string
+		mode optimizer.Mode
+	}{
+		{"adaptive", optimizer.ModeAdaptive},
+		{"static", optimizer.ModeStatic},
+	} {
+		// Fresh store and a fresh random (no join tree) load per mode, so
+		// both replays start from the same §7.3 initial state.
+		store := dfs.NewStore(cfg.Nodes, 2, cfg.Seed)
+		tables, err := tpch.LoadAll(store, data, tpch.LoadConfig{
+			RowsPerBlock: cfg.RowsPerBlock, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		s := session.New(store, session.Config{
+			Model:        model,
+			Optimizer:    optimizer.Config{Mode: mode.mode, WindowSize: window, Seed: cfg.Seed},
+			BudgetBlocks: cfg.Budget,
+		})
+		// Same rng seed per mode: both replays see identical query
+		// parameters.
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		sum := sessionModeSummary{Mode: mode.name}
+		if !jsonOut {
+			fmt.Printf("--- %s ---\n", mode.name)
+			fmt.Printf("%4s %-4s %-36s %9s %9s %7s\n", "q", "tpl", "strategies", "rows", "sim-s", "moved")
+		}
+		start := time.Now()
+		for qi, tpl := range schedule {
+			in := tpch.NewInstance(tpl, data, rng)
+			res, err := s.Stream(session.Query{
+				Label: string(tpl),
+				Plan:  in.Plan(tables),
+				Uses:  in.Uses(tables),
+			}, nil)
+			if err != nil {
+				return fmt.Errorf("%s q%d (%s): %w", mode.name, qi, tpl, err)
+			}
+			var strategies []string
+			for _, j := range res.Report.Joins {
+				strategies = append(strategies, j.Strategy)
+			}
+			qr := sessionQueryRecord{
+				Mode: mode.name, Query: qi, Template: string(tpl),
+				Strategies: strategies, Rows: res.RowCount,
+				SimSeconds: res.SimSeconds, MovedRows: res.Adapt.MovedRows,
+			}
+			report.Queries = append(report.Queries, qr)
+			for _, op := range res.Ops {
+				report.Ops = append(report.Ops, sessionOpRecord{
+					Mode: mode.name, Query: qi, Template: string(tpl),
+					Op: op.Label, Rows: op.Rows, Batches: op.Batches, WallNs: op.WallNs,
+				})
+			}
+			sum.SimSeconds += res.SimSeconds
+			sum.MovedRows += res.Adapt.MovedRows
+			sum.TreesCreated += res.Adapt.CreatedTrees
+			sum.ResultRows += res.RowCount
+			if !jsonOut {
+				fmt.Printf("%4d %-4s %-36s %9d %9.1f %7d\n",
+					qi, tpl, joinStrategies(strategies), res.RowCount, res.SimSeconds, res.Adapt.MovedRows)
+			}
+		}
+		sum.WallMs = time.Since(start).Milliseconds()
+		report.Modes = append(report.Modes, sum)
+		if !jsonOut {
+			fmt.Printf("%s total: %.1f sim-s, %d ms wall, %d rows moved, %d trees created\n\n",
+				mode.name, sum.SimSeconds, sum.WallMs, sum.MovedRows, sum.TreesCreated)
+		}
+	}
+
+	if report.Modes[0].SimSeconds > 0 {
+		report.SimSpeedup = report.Modes[1].SimSeconds / report.Modes[0].SimSeconds
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Printf("adaptation speedup (simulated time, static/adaptive): %.2fx\n", report.SimSpeedup)
+	return nil
+}
+
+// joinStrategies renders a strategy list compactly ("scan" when the
+// query has no join).
+func joinStrategies(ss []string) string {
+	if len(ss) == 0 {
+		return "scan"
+	}
+	out := ss[0]
+	for _, s := range ss[1:] {
+		out += "+" + s
+	}
+	return out
+}

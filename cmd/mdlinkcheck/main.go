@@ -1,0 +1,100 @@
+// Command mdlinkcheck walks a directory tree for Markdown files and
+// verifies that every relative link target exists, so docs can't rot as
+// files move. CI runs it over the repo root; it exits non-zero and
+// lists the dead links when any are found.
+//
+// Checked: [text](path) and [text](path#anchor) where path has no URL
+// scheme. Skipped: absolute URLs (http:, https:, mailto:, …),
+// pure-anchor links (#section), and anything inside fenced code blocks.
+//
+// Usage:
+//
+//	mdlinkcheck [dir]   # default "."
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links/images; group 1 is the target.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)\)`)
+
+// schemeRe detects URL schemes ("http:", "mailto:", …) to skip.
+var schemeRe = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9+.-]*:`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	dead := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "vendor" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		n, err := checkFile(path)
+		dead += n
+		return err
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if dead > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %d dead relative link(s)\n", dead)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports the number of dead relative links in one file; an
+// unreadable file is an I/O error, not a dead link.
+func checkFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	dead := 0
+	inFence := false
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if schemeRe.MatchString(target) || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: dead link %q\n", path, lineNo+1, m[1])
+				dead++
+			}
+		}
+	}
+	return dead, nil
+}

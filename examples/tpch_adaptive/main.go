@@ -1,9 +1,15 @@
 // This example replays the paper's shifting TPC-H workload (§7.3)
-// against a live AdaptDB instance and narrates what the storage manager
-// does: which join strategy each query used, how much data smooth
-// repartitioning moved, and how the lineitem table's partitioning trees
-// evolve as the workload shifts from orderkey joins (q3/q5) through a
-// pure selection phase (q6) to partkey joins (q14/q19).
+// through an adaptive query session and narrates what the storage
+// manager does: which join strategy each query used, how much data
+// smooth repartitioning moved between queries, and how the lineitem
+// table's partitioning trees evolve as the workload shifts from
+// orderkey joins (q3/q5) through a pure selection phase (q6) to
+// partkey joins (q14/q19).
+//
+// Everything runs through internal/session: each query is compiled to
+// a pipelined operator DAG, executed on the worker pool, recorded in
+// the per-table query windows, and followed by a smooth-repartitioning
+// step — the full window → optimizer → migration loop in one API.
 package main
 
 import (
@@ -12,9 +18,8 @@ import (
 
 	"adaptdb/internal/cluster"
 	"adaptdb/internal/dfs"
-	"adaptdb/internal/exec"
 	"adaptdb/internal/optimizer"
-	"adaptdb/internal/planner"
+	"adaptdb/internal/session"
 	"adaptdb/internal/tpch"
 )
 
@@ -30,38 +35,48 @@ func main() {
 	tables, err := tpch.LoadAll(store, data, tpch.LoadConfig{RowsPerBlock: 256, Seed: 7})
 	check(err)
 
-	opt := optimizer.New(optimizer.Config{
-		Mode: optimizer.ModeAdaptive, WindowSize: 10, Seed: 7,
+	s := session.New(store, session.Config{
+		Model:        model,
+		Optimizer:    optimizer.Config{Mode: optimizer.ModeAdaptive, WindowSize: 10, Seed: 7},
+		BudgetBlocks: 8,
 	})
-	meter := &cluster.Meter{}
-	runner := planner.NewRunner(exec.New(store, meter), model)
-	runner.BudgetBlocks = 8
 
 	// A compressed shifting schedule: 12 queries per phase.
 	phases := []tpch.Template{tpch.Q3, tpch.Q5, tpch.Q6, tpch.Q14, tpch.Q19}
 	rng := rand.New(rand.NewSource(7))
-	qnum := 0
 	for _, tpl := range phases {
 		fmt.Printf("--- phase %s ---\n", tpl)
 		for i := 0; i < 12; i++ {
 			in := tpch.NewInstance(tpl, data, rng)
-			rep, err := opt.OnQuery(in.Uses(tables), meter)
+			res, err := s.Execute(session.Query{
+				Label: string(tpl),
+				Plan:  in.Plan(tables),
+				Uses:  in.Uses(tables),
+			})
 			check(err)
-			rows, prep, err := runner.Run(in.Plan(tables))
-			check(err)
-			secs := meter.Reset().SimSeconds(model)
 			strategies := ""
-			for _, j := range prep.Joins {
+			for _, j := range res.Report.Joins {
 				strategies += j.Strategy + " "
 			}
 			if strategies == "" {
 				strategies = "scan "
 			}
 			fmt.Printf("  q%-3d %-4s %-28s %6d rows %8.1f sim-s  moved=%d\n",
-				qnum, tpl, strategies, len(rows), secs, rep.MovedRows)
-			qnum++
+				res.Seq, res.Label, strategies, res.RowCount, res.SimSeconds, res.Adapt.MovedRows)
 		}
 		describeLineitem(tables)
+	}
+
+	// The per-operator stats of the last query show where its time went.
+	fmt.Println("last query, per operator:")
+	last, err := s.Execute(func() session.Query {
+		in := tpch.NewInstance(tpch.Q19, data, rng)
+		return session.Query{Label: "q19", Plan: in.Plan(tables), Uses: in.Uses(tables)}
+	}())
+	check(err)
+	for _, op := range last.Ops {
+		fmt.Printf("  %-32s %8d rows %6d batches %8.2f ms\n",
+			op.Label, op.Rows, op.Batches, float64(op.WallNs)/1e6)
 	}
 }
 

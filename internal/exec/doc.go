@@ -27,7 +27,11 @@
 // build and probe phases all running on a bounded worker pool. Every
 // join path shares the specialized hash table of joinht.go (value.Hash64
 // keys, chained row indices, value.Equal collision checks, NULL keys
-// never matching).
+// never matching). The structural operators of ops.go — Instrument
+// (per-operator rows/batches/time + completion hooks), Concat
+// (sequential stream union) and SwapSides (column-order repair for
+// flipped builds) — are what the planner's compiler wires around these
+// to turn a whole plan tree into one executable DAG.
 // The legacy slice-returning layer (Scan, ScanRefs, ShuffleJoin*,
 // HyperJoin) consists of thin Collect() adapters over those operators,
 // kept so the planner, experiments and baselines can stay

@@ -155,7 +155,7 @@ func (e *Executor) joinRows(left, right []tuple.Tuple, lCol, rCol int, charge Jo
 func (e *Executor) ShuffleJoinTables(left *core.Table, lPreds []predicate.Predicate, lCol int,
 	right *core.Table, rPreds []predicate.Predicate, rCol int) []tuple.Tuple {
 	opts := JoinOptions{BuildCharge: ChargeShuffle, ProbeCharge: ChargeShuffle}
-	build, probe := e.tableRefs(left, lPreds), e.tableRefs(right, rPreds)
+	build, probe := e.TableRefs(left, lPreds), e.TableRefs(right, rPreds)
 	bPreds, pPreds := lPreds, rPreds
 	bCol, pCol := lCol, rCol
 	if metaRows(probe) < metaRows(build) {

@@ -1,0 +1,203 @@
+// Structural operators for composing plan DAGs: per-operator
+// instrumentation (Instrument), sequential stream union (Concat), and
+// column-order repair for flipped joins (SwapSides). The planner's
+// compiler (internal/planner) wires these around scans and joins to
+// turn a plan tree into one executable, fully pipelined Operator.
+package exec
+
+import (
+	"sync"
+	"time"
+)
+
+// OpStats describes what one instrumented operator did: how many rows
+// and batches flowed out of it and how long the caller spent inside its
+// Open/Next calls. WallNs is inclusive time — a pull-based operator
+// does its children's work inside Next, so a parent's time contains its
+// subtree's.
+type OpStats struct {
+	Label   string
+	Batches int64
+	Rows    int64
+	WallNs  int64
+}
+
+// Instrumented wraps an operator, counting batches/rows and timing
+// Open/Next, and fires an optional completion hook exactly once when
+// the stream is exhausted (or closed early). The planner uses the hook
+// to fill JoinReport entries after a lazy DAG has actually run; session
+// consumers read Stats for per-operator accounting.
+type Instrumented struct {
+	child  Operator
+	mu     sync.Mutex
+	stats  OpStats
+	onDone func(OpStats)
+	done   bool
+}
+
+// Instrument wraps child with stats collection under the given label.
+// onDone (optional) runs once, at end of stream or at Close, whichever
+// comes first.
+func Instrument(label string, child Operator, onDone func(OpStats)) *Instrumented {
+	return &Instrumented{child: child, stats: OpStats{Label: label}, onDone: onDone}
+}
+
+// Stats returns a snapshot of the counters; complete once the stream is
+// drained or closed.
+func (i *Instrumented) Stats() OpStats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// Open opens the child, charging setup time (a hash join drains its
+// whole build side here) to this operator.
+func (i *Instrumented) Open() error {
+	start := time.Now()
+	err := i.child.Open()
+	i.mu.Lock()
+	i.stats.WallNs += time.Since(start).Nanoseconds()
+	i.mu.Unlock()
+	return err
+}
+
+// Next forwards to the child, counting the batch through.
+func (i *Instrumented) Next() (*Batch, error) {
+	start := time.Now()
+	b, err := i.child.Next()
+	i.mu.Lock()
+	i.stats.WallNs += time.Since(start).Nanoseconds()
+	if b != nil {
+		i.stats.Batches++
+		i.stats.Rows += int64(b.Len())
+	}
+	fire := b == nil && err == nil && !i.done
+	if fire {
+		i.done = true
+	}
+	st, hook := i.stats, i.onDone
+	i.mu.Unlock()
+	if fire && hook != nil {
+		hook(st)
+	}
+	return b, err
+}
+
+// Close closes the child and fires the completion hook if the stream
+// never reached end (partial drain).
+func (i *Instrumented) Close() error {
+	err := i.child.Close()
+	i.mu.Lock()
+	fire := !i.done
+	i.done = true
+	st, hook := i.stats, i.onDone
+	i.mu.Unlock()
+	if fire && hook != nil {
+		hook(st)
+	}
+	return err
+}
+
+// Concat streams its children one after another — the union operator a
+// combination join (§5.4) needs to emit hyper output followed by the
+// residual shuffle outputs. Children are opened lazily, one at a time,
+// so at most one child's worker pool is live; each child is closed as
+// soon as it is exhausted. Row order across children is the
+// concatenation order; order within a child is the child's.
+func Concat(children ...Operator) Operator {
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &concatOp{children: children}
+}
+
+type concatOp struct {
+	children []Operator
+	idx      int
+	opened   bool
+}
+
+func (c *concatOp) Open() error {
+	c.idx = 0
+	if len(c.children) == 0 {
+		return nil
+	}
+	if err := c.children[0].Open(); err != nil {
+		return err
+	}
+	c.opened = true
+	return nil
+}
+
+func (c *concatOp) Next() (*Batch, error) {
+	for c.idx < len(c.children) {
+		b, err := c.children[c.idx].Next()
+		if err != nil || b != nil {
+			return b, err
+		}
+		// Current child exhausted: close it and move on.
+		cerr := c.children[c.idx].Close()
+		c.opened = false
+		c.idx++
+		if cerr != nil {
+			return nil, cerr
+		}
+		if c.idx < len(c.children) {
+			if err := c.children[c.idx].Open(); err != nil {
+				return nil, err
+			}
+			c.opened = true
+		}
+	}
+	return nil, nil
+}
+
+func (c *concatOp) Close() error {
+	if c.opened && c.idx < len(c.children) {
+		c.opened = false
+		return c.children[c.idx].Close()
+	}
+	return nil
+}
+
+// SwapSides moves each row's trailing tail columns to the front:
+// x‖y → y‖x with len(y) == tail. A hyper-join that builds on the plan's
+// right side emits (right, left) rows; wrapping it in SwapSides(op,
+// leftWidth) restores the plan's (left, right) column order without
+// materializing anything. Output rows are carved into the output
+// batch's own arena (owned rows), so inputs of either lifetime are
+// handled.
+func SwapSides(child Operator, tail int) Operator {
+	return &swapOp{child: child, tail: tail}
+}
+
+type swapOp struct {
+	child Operator
+	tail  int
+}
+
+func (s *swapOp) Open() error { return s.child.Open() }
+
+func (s *swapOp) Next() (*Batch, error) {
+	for {
+		in, err := s.child.Next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		out := NewBatch()
+		for _, r := range in.Rows() {
+			cut := len(r) - s.tail
+			if cut < 0 {
+				cut = 0
+			}
+			out.AppendConcat(r[cut:], r[:cut])
+		}
+		in.Release()
+		if out.Len() > 0 {
+			return out, nil
+		}
+		out.Release()
+	}
+}
+
+func (s *swapOp) Close() error { return s.child.Close() }

@@ -255,12 +255,14 @@ func (e *Executor) ScanOp(refs []core.BlockRef, preds []predicate.Predicate) Ope
 // with predicate and zone-map pruning (or none under NoPrune) — the
 // pipelined form of Scan.
 func (e *Executor) TableScanOp(tbl *core.Table, preds []predicate.Predicate) Operator {
-	return e.ScanOp(e.tableRefs(tbl, preds), preds)
+	return e.ScanOp(e.TableRefs(tbl, preds), preds)
 }
 
-// tableRefs resolves a table's scan set under the executor's pruning
-// mode.
-func (e *Executor) tableRefs(tbl *core.Table, preds []predicate.Predicate) []core.BlockRef {
+// TableRefs resolves a table's scan set under the executor's pruning
+// mode — the blocks TableScanOp will read. The planner prices
+// strategies and picks build sides from the same set, so cost estimates
+// always match what a scan would actually touch.
+func (e *Executor) TableRefs(tbl *core.Table, preds []predicate.Predicate) []core.BlockRef {
 	if e.NoPrune {
 		return tbl.AllRefs(nil)
 	}

@@ -4,11 +4,20 @@
 // Amoeba-style adaptation for selection predicates, and supports the
 // §7.3 baseline modes (no adaptation; full immediate repartitioning).
 //
+// OnQuery is the single lifecycle hook: internal/session calls it once
+// per query of a stream, before executing the compiled plan — each
+// TableUse joins its table's workload.Window, the policy's
+// repartitioning work runs, and the migration I/O is metered into the
+// triggering query's meter so per-query latency includes adaptation
+// overhead, as in the paper's plots. The experiment harnesses (§7) use
+// the same hook; there is no separate experiment-only path.
+//
 // Paper mapping:
 //
 //   - §5.2 — deciding when to start smooth repartitioning toward a join
 //     attribute, and driving the incremental bucket migration through
-//     internal/smooth.
+//     internal/smooth (randomness seeded from Config.Seed, so streams
+//     replay bit-identically).
 //   - §5.3 — the query window: which recent queries vote on the next
 //     partitioning layout (swept in Fig. 15).
 //   - §5.4 — pricing candidate layouts with the executor's hyper-join

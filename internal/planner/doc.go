@@ -1,8 +1,20 @@
-// Package planner implements AdaptDB's query planner (§6): given a join
-// plan over tables, pick hyper-join, shuffle join, or a combination per
-// join using the §4.2 cost model, and execute multi-relation joins per
-// §4.3 (shuffling only the intermediate when the base table's tree is
-// partitioned on the join attribute).
+// Package planner implements AdaptDB's query planner (§6): it lowers a
+// join-plan tree of arbitrary depth into one pipelined DAG of
+// exec.Operators, picking hyper-join, shuffle join, or a combination
+// per join with the §4.2 cost model — strategy choices are operator
+// choices, decided at compile time from block zone maps alone.
+//
+// Compile is the engine: scans become TableScanOps with predicate
+// pushdown, base-table joins become HyperJoinOp / JoinOp / Concat
+// compositions, and multi-relation joins stream their sub-plan DAGs
+// straight into the next join's build side (§4.3's semi-shuffle: only
+// the intermediate shuffles when the base table has a tree on the join
+// attribute). Nothing on the compiled path materializes a whole-table
+// slice; Run is the materializing Collect adapter kept for callers
+// with small result sets. Every operator is wrapped in exec.Instrument,
+// so a drained Compiled DAG reports per-operator rows/batches/time and
+// a per-join strategy Report. internal/session drives Compile for each
+// query of an adaptive stream.
 //
 // The planner's three cases for a base-table join (§6):
 //
@@ -17,20 +29,19 @@
 // Paper mapping:
 //
 //   - §4.2 — estimateHyper / estimateShuffle price the strategies in
-//     block reads before running the winner.
-//   - §4.3 — semiShuffleJoin streams a base table through the probe
+//     block reads before compiling the winner.
+//   - §4.3 — compileSemiShuffle streams a base table through the probe
 //     side of a pipelined join while only the materialized intermediate
 //     shuffles.
-//   - §5.4 — the cost comparison that decides whether a combination
-//     join beats a plain shuffle mid-transition.
-//   - §6 — Runner walks the plan tree, recording per-join strategy
-//     reports the experiments aggregate.
+//   - §5.4 — planTableJoin's cost comparison that decides whether a
+//     combination join beats a plain shuffle mid-transition.
+//   - §6 — Compile walks the plan tree; the Report records per-join
+//     strategies the experiments aggregate.
 //
-// Execution is delegated to internal/exec; the planner composes its
-// batched operators (TableScanOp, JoinOp, HyperJoin) per the strategy
-// decision. Whatever strategy wins, the data plane underneath is the
-// same parallel radix-partitioned hash join core (exec/joinht.go), so
+// Whatever strategy wins, the data plane underneath is the same
+// parallel radix-partitioned hash join core (exec/joinht.go), so
 // strategy choice changes I/O metering and block schedules, never join
 // semantics: output column order follows the plan's (left, right) via
-// JoinOptions.BuildIsRight, and NULL join keys never match.
+// JoinOptions.BuildIsRight or exec.SwapSides, and NULL join keys never
+// match.
 package planner

@@ -1,8 +1,6 @@
 package planner
 
 import (
-	"fmt"
-
 	"adaptdb/internal/cluster"
 	"adaptdb/internal/core"
 	"adaptdb/internal/exec"
@@ -51,7 +49,7 @@ type Report struct {
 	Joins []JoinReport
 }
 
-// Runner executes plans against one executor.
+// Runner compiles and executes plans against one executor.
 type Runner struct {
 	Ex    *exec.Executor
 	Model cluster.CostModel
@@ -76,64 +74,19 @@ func (r *Runner) budget() int {
 }
 
 // Run executes a plan, returning the result rows and a report of join
-// strategies used.
+// strategies used. It is the materializing adapter over Compile —
+// callers that can consume batches should Compile and drain the DAG
+// themselves (internal/session does).
 func (r *Runner) Run(n Node) ([]tuple.Tuple, *Report, error) {
-	rep := &Report{}
-	rows, err := r.run(n, rep)
-	return rows, rep, err
-}
-
-func (r *Runner) run(n Node, rep *Report) ([]tuple.Tuple, error) {
-	switch nd := n.(type) {
-	case *Scan:
-		return r.Ex.Scan(nd.Table, nd.Preds), nil
-	case *Join:
-		return r.runJoin(nd, rep)
-	default:
-		return nil, fmt.Errorf("planner: unknown node %T", n)
+	c, err := r.Compile(n)
+	if err != nil {
+		return nil, nil, err
 	}
-}
-
-func (r *Runner) runJoin(j *Join, rep *Report) ([]tuple.Tuple, error) {
-	lScan, lIsScan := j.Left.(*Scan)
-	rScan, rIsScan := j.Right.(*Scan)
-	switch {
-	case lIsScan && rIsScan:
-		rows, jr := r.joinTables(lScan, j.LCol, rScan, j.RCol)
-		jr.OutputRows = len(rows)
-		rep.Joins = append(rep.Joins, jr)
-		return rows, nil
-	case rIsScan:
-		lRows, err := r.run(j.Left, rep)
-		if err != nil {
-			return nil, err
-		}
-		rows, jr := r.semiShuffleJoin(lRows, j.LCol, rScan, j.RCol, false)
-		jr.OutputRows = len(rows)
-		rep.Joins = append(rep.Joins, jr)
-		return rows, nil
-	case lIsScan:
-		rRows, err := r.run(j.Right, rep)
-		if err != nil {
-			return nil, err
-		}
-		rows, jr := r.semiShuffleJoin(rRows, j.RCol, lScan, j.LCol, true)
-		jr.OutputRows = len(rows)
-		rep.Joins = append(rep.Joins, jr)
-		return rows, nil
-	default:
-		lRows, err := r.run(j.Left, rep)
-		if err != nil {
-			return nil, err
-		}
-		rRows, err := r.run(j.Right, rep)
-		if err != nil {
-			return nil, err
-		}
-		rows := r.Ex.ShuffleJoinIntermediates(lRows, rRows, j.LCol, j.RCol)
-		rep.Joins = append(rep.Joins, JoinReport{Strategy: StratShuffle, OutputRows: len(rows)})
-		return rows, nil
+	rows, err := exec.Collect(c.Root)
+	if err != nil {
+		return nil, c.Report, err
 	}
+	return rows, c.Report, nil
 }
 
 // refRows sums the row counts of a ref set.
@@ -168,8 +121,22 @@ func (r *Runner) estimateShuffle(rRefs, sRefs []core.BlockRef) float64 {
 	return r.Model.CSJ * float64(refRows(rRefs)+refRows(sRefs))
 }
 
-// joinTables executes a base-table join with the three-case logic.
-func (r *Runner) joinTables(l *Scan, lCol int, rt *Scan, rCol int) ([]tuple.Tuple, JoinReport) {
+// tableJoinPlan is the compile-time strategy decision for one
+// base-table ⋈ base-table join: which strategy won the §5.4 cost
+// comparison, the co-partitioned (l1/r1) and residual (l2/r2) block
+// refs of each side, and whether the hyper-join builds on the right
+// side (flip).
+type tableJoinPlan struct {
+	strategy       string
+	flip           bool
+	l1, l2, r1, r2 []core.BlockRef
+}
+
+// planTableJoin decides a base-table join's strategy from block
+// metadata alone — the three-case logic of §6 plus the §5.4 cost
+// comparisons. It reads zone maps, never data blocks, so compilation
+// stays O(metadata).
+func (r *Runner) planTableJoin(l *Scan, lCol int, rt *Scan, rCol int) tableJoinPlan {
 	lIdx := l.Table.TreeFor(lCol)
 	rIdx := rt.Table.TreeFor(rCol)
 
@@ -180,49 +147,43 @@ func (r *Runner) joinTables(l *Scan, lCol int, rt *Scan, rCol int) ([]tuple.Tupl
 			lRefs := l.Table.AllRefs(l.Preds)
 			rRefs := rt.Table.AllRefs(rt.Preds)
 			if hy := r.estimateHyper(lRefs, lCol, rRefs, rCol); hy > 0 && hy < r.estimateShuffle(lRefs, rRefs) {
-				rows, stats := r.Ex.HyperJoin(lRefs, l.Preds, lCol, rRefs, rt.Preds, rCol, r.budget())
-				return rows, JoinReport{Strategy: StratHyper, CHyJ: stats.CHyJ, ProbeBlocks: stats.ProbeBlocks}
+				return tableJoinPlan{strategy: StratHyper, l1: lRefs, r1: rRefs}
 			}
 		}
-		rows := r.Ex.ShuffleJoinTables(l.Table, l.Preds, lCol, rt.Table, rt.Preds, rCol)
-		return rows, JoinReport{Strategy: StratShuffle}
+		return tableJoinPlan{strategy: StratShuffle}
 	}
 
 	// Split each side into the co-partitioned portion (the tree on the
 	// join attribute) and the residual portion (all other live trees).
-	l1 := l.Table.Refs(lIdx, l.Preds)
-	var l2 []core.BlockRef
+	p := tableJoinPlan{l1: l.Table.Refs(lIdx, l.Preds), r1: rt.Table.Refs(rIdx, rt.Preds)}
 	for _, i := range l.Table.LiveTrees() {
 		if i != lIdx {
-			l2 = append(l2, l.Table.Refs(i, l.Preds)...)
+			p.l2 = append(p.l2, l.Table.Refs(i, l.Preds)...)
 		}
 	}
-	r1 := rt.Table.Refs(rIdx, rt.Preds)
-	var r2 []core.BlockRef
 	for _, i := range rt.Table.LiveTrees() {
 		if i != rIdx {
-			r2 = append(r2, rt.Table.Refs(i, rt.Preds)...)
+			p.r2 = append(p.r2, rt.Table.Refs(i, rt.Preds)...)
 		}
 	}
 
 	// Orient the hyper-join: build on the smaller co-partitioned side.
-	flip := refRows(r1) < refRows(l1)
+	p.flip = refRows(p.r1) < refRows(p.l1)
+	var hyEst float64
+	if p.flip {
+		hyEst = r.estimateHyper(p.r1, rCol, p.l1, lCol)
+	} else {
+		hyEst = r.estimateHyper(p.l1, lCol, p.r1, rCol)
+	}
 
 	// Case 1: both tables fully co-partitioned. Cost-compare hyper vs
-	// shuffle (§5.4) and run the winner.
-	if len(l2) == 0 && len(r2) == 0 {
-		var hyEst float64
-		if flip {
-			hyEst = r.estimateHyper(r1, rCol, l1, lCol)
-		} else {
-			hyEst = r.estimateHyper(l1, lCol, r1, rCol)
+	// shuffle (§5.4) and pick the winner.
+	if len(p.l2) == 0 && len(p.r2) == 0 {
+		if hyEst >= r.estimateShuffle(p.l1, p.r1) {
+			return tableJoinPlan{strategy: StratShuffle}
 		}
-		if hyEst >= r.estimateShuffle(l1, r1) {
-			rows := r.Ex.ShuffleJoinTables(l.Table, l.Preds, lCol, rt.Table, rt.Preds, rCol)
-			return rows, JoinReport{Strategy: StratShuffle}
-		}
-		rows, stats := r.hyperOriented(l1, l.Preds, lCol, r1, rt.Preds, rCol, flip)
-		return rows, JoinReport{Strategy: StratHyper, CHyJ: stats.CHyJ, ProbeBlocks: stats.ProbeBlocks}
+		p.strategy = StratHyper
+		return p
 	}
 
 	// Case 2: combination join. A⋈B = hyper(A1⋈B1) ∪ shuffle(A2⋈B) ∪
@@ -230,87 +191,19 @@ func (r *Runner) joinTables(l *Scan, lCol int, rt *Scan, rCol int) ([]tuple.Tupl
 	// transition is nearly done. Early in a transition the residual
 	// shuffles (which re-read the other side) can exceed a plain shuffle
 	// join, so cost-compare first (§5.4).
-	var combEst float64
-	if flip {
-		combEst = r.estimateHyper(r1, rCol, l1, lCol)
-	} else {
-		combEst = r.estimateHyper(l1, lCol, r1, rCol)
-	}
-	if len(l2) > 0 {
+	combEst := hyEst
+	if len(p.l2) > 0 {
 		// shuffle(A2 ⋈ B): scan+shuffle A2's rows and all of B again.
-		combEst += r.Model.CSJ * float64(refRows(l2)+refRows(r1)+refRows(r2))
+		combEst += r.Model.CSJ * float64(refRows(p.l2)+refRows(p.r1)+refRows(p.r2))
 	}
-	if len(r2) > 0 {
+	if len(p.r2) > 0 {
 		// shuffle(A1 ⋈ B2): re-scan+shuffle A1 and B2's residual rows.
-		combEst += r.Model.CSJ * float64(refRows(l1)+refRows(r2))
+		combEst += r.Model.CSJ * float64(refRows(p.l1)+refRows(p.r2))
 	}
-	if combEst >= r.estimateShuffle(append(append([]core.BlockRef(nil), l1...), l2...),
-		append(append([]core.BlockRef(nil), r1...), r2...)) {
-		rows := r.Ex.ShuffleJoinTables(l.Table, l.Preds, lCol, rt.Table, rt.Preds, rCol)
-		return rows, JoinReport{Strategy: StratShuffle}
+	if combEst >= r.estimateShuffle(append(append([]core.BlockRef(nil), p.l1...), p.l2...),
+		append(append([]core.BlockRef(nil), p.r1...), p.r2...)) {
+		return tableJoinPlan{strategy: StratShuffle}
 	}
-	out, stats := r.hyperOriented(l1, l.Preds, lCol, r1, rt.Preds, rCol, flip)
-	if len(l2) > 0 {
-		l2Rows := r.Ex.ScanRefs(l2, l.Preds)
-		bAll := r.Ex.Scan(rt.Table, rt.Preds)
-		out = append(out, r.Ex.ShuffleJoinRows(l2Rows, bAll, lCol, rCol)...)
-	}
-	if len(r2) > 0 {
-		l1Rows := r.Ex.ScanRefs(l1, l.Preds)
-		r2Rows := r.Ex.ScanRefs(r2, rt.Preds)
-		out = append(out, r.Ex.ShuffleJoinRows(l1Rows, r2Rows, lCol, rCol)...)
-	}
-	return out, JoinReport{Strategy: StratCombination, CHyJ: stats.CHyJ, ProbeBlocks: stats.ProbeBlocks}
-}
-
-// hyperOriented runs the hyper-join building on the left refs, or on the
-// right refs when flip is set, always returning rows in (left, right)
-// column order.
-func (r *Runner) hyperOriented(lRefs []core.BlockRef, lPreds []predicate.Predicate, lCol int,
-	rRefs []core.BlockRef, rPreds []predicate.Predicate, rCol int, flip bool) ([]tuple.Tuple, exec.HyperStats) {
-	if !flip {
-		return r.Ex.HyperJoin(lRefs, lPreds, lCol, rRefs, rPreds, rCol, r.budget())
-	}
-	rows, stats := r.Ex.HyperJoin(rRefs, rPreds, rCol, lRefs, lPreds, lCol, r.budget())
-	lw := 0
-	if len(lRefs) > 0 {
-		lw = len(lRefs[0].Meta.Mins)
-	}
-	return swapSides(rows, lw), stats
-}
-
-// swapSides reorders concatenated join rows from (right, left) to
-// (left, right) column order; leftWidth is the left row arity.
-func swapSides(rows []tuple.Tuple, leftWidth int) []tuple.Tuple {
-	for i, row := range rows {
-		rw := len(row) - leftWidth
-		fixed := make(tuple.Tuple, 0, len(row))
-		fixed = append(fixed, row[rw:]...)
-		fixed = append(fixed, row[:rw]...)
-		rows[i] = fixed
-	}
-	return rows
-}
-
-// semiShuffleJoin joins materialized intermediate rows with a base
-// table (§4.3): when the table has a tree on the join attribute, only
-// the intermediate is shuffled and the table is read in place
-// (hyper-style); otherwise both sides shuffle. rowsFirst reports whether
-// the intermediate is the plan's left child (controls output column
-// order).
-func (r *Runner) semiShuffleJoin(rows []tuple.Tuple, rowsCol int, sc *Scan, tblCol int, tblFirst bool) ([]tuple.Tuple, JoinReport) {
-	strategy := StratSemiShuffle
-	opts := exec.JoinOptions{
-		BuildCharge:  exec.ChargeIntermediate,
-		BuildIsRight: tblFirst,
-	}
-	if r.ForceShuffle || sc.Table.TreeFor(tblCol) < 0 {
-		// No tree on the join attribute: the base table shuffles too.
-		opts.ProbeCharge = exec.ChargeShuffle
-		strategy = StratShuffle
-	}
-	// Build on the (typically smaller) intermediate; the base-table scan
-	// streams through the probe side without being materialized.
-	op := r.Ex.JoinOp(exec.NewSource(rows), rowsCol, r.Ex.TableScanOp(sc.Table, sc.Preds), tblCol, opts)
-	return exec.MustCollect(op), JoinReport{Strategy: strategy}
+	p.strategy = StratCombination
+	return p
 }

@@ -1,0 +1,229 @@
+// Package session drives AdaptDB's full adaptive loop in one process
+// off one API — the paper's Fig. 2 storage-manager lifecycle as a
+// query-stream service. A Session accepts a stream of planner queries;
+// for each one it
+//
+//  1. records how the query touches every table into that table's
+//     workload.Window and runs the optimizer's smooth-repartitioning
+//     step (§5.2, Fig. 11) — trees are created, blocks migrate, and
+//     drained trees are dropped between queries while the stream runs;
+//  2. compiles the plan tree (arbitrary depth, not just two-table)
+//     into a DAG of exec.Operators via planner.Compile — pipelined
+//     scans with predicate pushdown and the cost-model-selected
+//     hyper / shuffle / combination / semi-shuffle join strategies as
+//     operator choices, with no intermediate whole-table slice
+//     materialization anywhere on the path;
+//  3. drains the DAG through the executor's bounded worker pool,
+//     collecting per-operator stats (rows / batches / wall ns), the
+//     per-join strategy report, and the metered I/O priced by the §4.2
+//     cost model.
+//
+// Repartitioning I/O is metered into the triggering query's counters,
+// so per-query SimSeconds reflect adaptation overhead exactly as the
+// paper's per-query latency plots do. All randomness (migration bucket
+// choice, new-tree build seeds) descends from Config.Seed, so a
+// session run replays bit-identically.
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/exec"
+	"adaptdb/internal/optimizer"
+	"adaptdb/internal/planner"
+	"adaptdb/internal/tuple"
+)
+
+// Query is one query of the stream: an executable plan plus the
+// per-table touch descriptors that feed the query windows.
+type Query struct {
+	// Label tags results (e.g. the TPC-H template name); informational.
+	Label string
+	// Plan is the query's join tree over loaded tables.
+	Plan planner.Node
+	// Uses describes how the query touches each table (join attribute +
+	// predicates) — what the optimizer records into workload windows
+	// before adapting. A query that should not influence adaptation may
+	// leave it nil.
+	Uses []optimizer.TableUse
+}
+
+// Config tunes a session.
+type Config struct {
+	// Model prices metered I/O; zero value means cluster.Default().
+	Model cluster.CostModel
+	// Optimizer configures adaptation (mode, window size, fmin, seed).
+	// Zero value means ModeAdaptive with the paper's defaults.
+	Optimizer optimizer.Config
+	// BudgetBlocks is the hyper-join memory budget in blocks (0 = the
+	// planner default of 4).
+	BudgetBlocks int
+	// ForceShuffle disables hyper-join (baseline configurations).
+	ForceShuffle bool
+	// Workers bounds executor parallelism; 0 = one per store node.
+	Workers int
+}
+
+// Session executes a query stream with adaptation interleaved.
+// Not safe for concurrent use: queries are a stream, and adaptation
+// between them mutates table layouts.
+type Session struct {
+	ex     *exec.Executor
+	runner *planner.Runner
+	opt    *optimizer.Optimizer
+	model  cluster.CostModel
+	meter  *cluster.Meter
+	seq    int
+}
+
+// New builds a session over a store.
+func New(store *dfs.Store, cfg Config) *Session {
+	model := cfg.Model
+	if model == (cluster.CostModel{}) {
+		model = cluster.Default()
+	}
+	meter := &cluster.Meter{}
+	ex := exec.New(store, meter)
+	ex.Workers = cfg.Workers
+	runner := planner.NewRunner(ex, model)
+	if cfg.BudgetBlocks > 0 {
+		runner.BudgetBlocks = cfg.BudgetBlocks
+	}
+	runner.ForceShuffle = cfg.ForceShuffle
+	return &Session{
+		ex:     ex,
+		runner: runner,
+		opt:    optimizer.New(cfg.Optimizer),
+		model:  model,
+		meter:  meter,
+	}
+}
+
+// Result reports what one query of the stream did.
+type Result struct {
+	// Seq is the query's position in the stream (0-based).
+	Seq int
+	// Label echoes Query.Label.
+	Label string
+	// Rows holds the materialized result (Execute only; nil for Stream).
+	Rows []tuple.Tuple
+	// RowCount is the result cardinality, set on both paths.
+	RowCount int
+	// Report lists the join strategy picked per join, in plan
+	// post-order.
+	Report *planner.Report
+	// Ops holds per-operator stats (rows, batches, inclusive wall ns)
+	// for every operator of the compiled DAG, in compile order.
+	Ops []exec.OpStats
+	// Adapt summarizes the smooth-repartitioning work this query
+	// triggered (trees created, rows migrated).
+	Adapt optimizer.StepReport
+	// Counters is the query's metered I/O, including migration I/O.
+	Counters cluster.Counters
+	// SimSeconds prices Counters with the session's cost model.
+	SimSeconds float64
+	// Wall is the real time spent adapting + executing.
+	Wall time.Duration
+}
+
+// Execute runs one query of the stream — adapt, compile, drain — and
+// materializes the result rows.
+func (s *Session) Execute(q Query) (*Result, error) {
+	return s.run(q, true, nil)
+}
+
+// Stream runs one query of the stream without materializing the
+// result: each output batch is passed to sink (which may be nil to
+// just count rows). The batch is only valid during the call — sink
+// must copy any owned rows it wants to retain (see exec.Batch).
+func (s *Session) Stream(q Query, sink func(*exec.Batch) error) (*Result, error) {
+	return s.run(q, false, sink)
+}
+
+func (s *Session) run(q Query, collect bool, sink func(*exec.Batch) error) (*Result, error) {
+	res := &Result{Seq: s.seq, Label: q.Label}
+	s.seq++
+	start := time.Now()
+	// Whatever happens — including a compile or execution error — this
+	// query's metered I/O is captured into its result and the shared
+	// meter is reset, so a failed query never leaks counters into the
+	// next one's accounting.
+	defer func() {
+		res.Wall = time.Since(start)
+		res.Counters = s.meter.Reset()
+		res.SimSeconds = res.Counters.SimSeconds(s.model)
+	}()
+
+	// Adapt first: the query joins the windows, and smooth
+	// repartitioning migrates blocks before execution, so this query
+	// already scans the trees it voted for. Migration I/O lands on this
+	// query's meter (the paper's per-query accounting).
+	adapt, err := s.opt.OnQuery(q.Uses, s.meter)
+	if err != nil {
+		return res, fmt.Errorf("session: adapt %q: %w", q.Label, err)
+	}
+	res.Adapt = adapt
+
+	comp, err := s.runner.Compile(q.Plan)
+	if err != nil {
+		return res, fmt.Errorf("session: compile %q: %w", q.Label, err)
+	}
+	res.Report = comp.Report
+	defer func() { res.Ops = comp.OpStats() }()
+	if collect {
+		rows, err := exec.Collect(comp.Root)
+		if err != nil {
+			return res, fmt.Errorf("session: execute %q: %w", q.Label, err)
+		}
+		res.Rows, res.RowCount = rows, len(rows)
+	} else {
+		n, err := s.drain(comp.Root, sink)
+		if err != nil {
+			return res, fmt.Errorf("session: execute %q: %w", q.Label, err)
+		}
+		res.RowCount = n
+	}
+	return res, nil
+}
+
+// drain pulls the DAG to exhaustion, forwarding batches to sink.
+func (s *Session) drain(op exec.Operator, sink func(*exec.Batch) error) (int, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	n := 0
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return n, err
+		}
+		if b == nil {
+			return n, nil
+		}
+		n += b.Len()
+		if sink != nil {
+			if err := sink(b); err != nil {
+				b.Release()
+				return n, err
+			}
+		}
+		b.Release()
+	}
+}
+
+// Queries returns how many queries the session has executed.
+func (s *Session) Queries() int { return s.seq }
+
+// Optimizer exposes the session's optimizer — its query windows and
+// per-table smooth managers — for inspection and tests.
+func (s *Session) Optimizer() *optimizer.Optimizer { return s.opt }
+
+// Executor exposes the underlying executor (workers, pruning flags).
+func (s *Session) Executor() *exec.Executor { return s.ex }
+
+// Runner exposes the planner runner the session compiles with.
+func (s *Session) Runner() *planner.Runner { return s.runner }

@@ -12,6 +12,15 @@
 // Block choice is random ("by randomly selecting blocks and moving
 // them"), appends ride HDFS semantics, and a drained old tree is
 // removed. The fmin gate avoids building trees for rare queries.
+//
+// A Manager is invoked between the queries of a stream: the optimizer
+// (and through it internal/session) calls Step once per query after the
+// query has joined the table's window, so trees are created, blocks
+// migrate, and drained trees are dropped while the stream runs — the
+// migration I/O is metered into the triggering query's meter. All
+// randomness (bucket selection, new-tree build seeds) comes from the
+// caller-seeded *rand.Rand (NewWithRand), making session runs
+// reproducible from a single seed.
 package smooth
 
 import (
@@ -48,9 +57,29 @@ type Manager struct {
 }
 
 // New returns a manager with the paper's defaults: fmin = 1 (create on
-// first sight; experiments override), window shared with caller.
+// first sight; experiments override), window shared with caller, and a
+// private RNG seeded from seed.
 func New(w *workload.Window, seed int64) *Manager {
-	return &Manager{Window: w, FMin: 1, rng: rand.New(rand.NewSource(seed))}
+	return NewWithRand(w, rand.New(rand.NewSource(seed)))
+}
+
+// NewWithRand returns a manager drawing all randomness (bucket
+// selection, new-tree build seeds) from the caller's seeded source, so
+// a session run replays bit-identically from one seed. The manager
+// owns rng after the call; nil falls back to a fixed default seed.
+func NewWithRand(w *workload.Window, rng *rand.Rand) *Manager {
+	m := &Manager{Window: w, FMin: 1, rng: rng}
+	m.ensureRand()
+	return m
+}
+
+// ensureRand guarantees a usable RNG even on a zero-value Manager, so
+// struct-literal construction cannot panic mid-migration; the fallback
+// seed is fixed for reproducibility.
+func (m *Manager) ensureRand() {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(1))
+	}
 }
 
 // StepResult reports what one smooth-repartitioning step did.
@@ -66,6 +95,7 @@ type StepResult struct {
 // caller. Emit, when non-nil, receives migrated rows so the current
 // query can scan Type-2 blocks while they move (§6).
 func (m *Manager) Step(tbl *core.Table, q workload.Query, meter *cluster.Meter, emit func(tuple.Tuple)) (StepResult, error) {
+	m.ensureRand()
 	res := StepResult{CreatedTree: -1}
 	t := q.JoinAttr
 	if t < 0 {

@@ -2,6 +2,13 @@
 // query window AdaptDB keeps for repartitioning decisions ("AdaptDB
 // keeps all queries in a recent query window", §5.2; Amoeba "maintains a
 // query window denoted by W", §3.2).
+//
+// Windows are fed by the session lifecycle: every query a
+// session.Session executes is recorded (via optimizer.OnQuery) into the
+// window of each table it touches before the plan runs, so the n/|W|
+// fractions that drive smooth repartitioning and the predicate-column
+// counts that drive Amoeba adaptation always reflect the live stream,
+// query by query.
 package workload
 
 import (
