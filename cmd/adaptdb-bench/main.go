@@ -9,7 +9,11 @@
 //	adaptdb-bench -list           # list experiments
 //	adaptdb-bench -pipeline -sf 0.1   # materialized vs pipelined executor
 //	adaptdb-bench -json -sf 0.01      # machine-readable pipeline results
-//	adaptdb-bench -session -sf 0.01   # adaptive session replay, on vs off
+//	                                  # + adaptive replay at 1/4/8 node
+//	                                  # executors (BENCH_PR4.json, CI-gated
+//	                                  # by cmd/benchdiff)
+//	adaptdb-bench -session -sf 0.01   # adaptive session replay, on vs off,
+//	                                  # on per-node executors (-nodes N)
 //	adaptdb-bench -session -json      # per-operator records (BENCH_PR3.json)
 package main
 
@@ -71,7 +75,7 @@ func main() {
 		sf       = flag.Float64("sf", 0, "TPC-H micro scale factor (default 0.002)")
 		rpb      = flag.Int("rows-per-block", 0, "rows per block (default 256)")
 		budget   = flag.Int("budget", 0, "hyper-join buffer in blocks (default 8)")
-		nodes    = flag.Int("nodes", 0, "simulated cluster nodes (default 10)")
+		nodes    = flag.Int("nodes", 0, "simulated cluster nodes; with -session, also the per-node executor count (default 10)")
 		seed     = flag.Int64("seed", 0, "random seed (default 42)")
 		trips    = flag.Int("trips", 4000, "CMT trips for fig18")
 		ilpSteps = flag.Int64("ilp-steps", 0, "exact-search step cap for fig17")
@@ -254,6 +258,21 @@ func runPipelineCompare(cfg experiments.Config, jsonOut bool) error {
 	}
 	for _, s := range steps {
 		if err := measure(s.name, s.run); err != nil {
+			return err
+		}
+	}
+	// The locality sweep: the PR-3 adaptive session stream replayed on
+	// per-node executors at 1, 4, and 8 nodes. On multi-core hardware
+	// cross-node parallelism shows up as falling wall time; on the
+	// 1-core CI container node counts only add exchange overhead (see
+	// ARCHITECTURE.md), so BENCH_PR4.json + cmd/benchdiff gate these
+	// records against gross wall-time cliffs relative to the checked-in
+	// baseline, not against an absolute scaling curve.
+	for _, n := range []int{1, 4, 8} {
+		n := n
+		if err := measure(fmt.Sprintf("adaptive-session/nodes=%d", n), func() (int, error) {
+			return replayAdaptiveOnce(cfg, ds, n)
+		}); err != nil {
 			return err
 		}
 	}

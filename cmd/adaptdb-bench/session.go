@@ -23,9 +23,12 @@ type sessionOpRecord struct {
 	Query    int    `json:"query"`
 	Template string `json:"template"`
 	Op       string `json:"op"`
-	Rows     int64  `json:"rows"`
-	Batches  int64  `json:"batches"`
-	WallNs   int64  `json:"wall_ns"`
+	// Node is the cluster node the operator ran on (-1 for
+	// coordinator-side operators such as a gathered hyper-join).
+	Node    int   `json:"node"`
+	Rows    int64 `json:"rows"`
+	Batches int64 `json:"batches"`
+	WallNs  int64 `json:"wall_ns"`
 }
 
 // sessionQueryRecord summarizes one query of the replayed stream.
@@ -114,7 +117,7 @@ func runSessionCompare(cfg experiments.Config, jsonOut bool) error {
 		report.Schedule = append(report.Schedule, string(tpl))
 	}
 	if !jsonOut {
-		fmt.Printf("adaptive session replay (SF=%.4g, rows/block=%d, %d nodes, |W|=%d, %d queries: orderkey→partkey shift)\n\n",
+		fmt.Printf("adaptive session replay (SF=%.4g, rows/block=%d, %d node executors, |W|=%d, %d queries: orderkey→partkey shift)\n\n",
 			cfg.SF, cfg.RowsPerBlock, cfg.Nodes, window, len(schedule))
 	}
 
@@ -134,10 +137,13 @@ func runSessionCompare(cfg experiments.Config, jsonOut bool) error {
 		if err != nil {
 			return err
 		}
+		// Distributed: every store node runs its own executor; scans run
+		// where their blocks live and joins exchange rows between nodes.
 		s := session.New(store, session.Config{
 			Model:        model,
 			Optimizer:    optimizer.Config{Mode: mode.mode, WindowSize: window, Seed: cfg.Seed},
 			BudgetBlocks: cfg.Budget,
+			Distributed:  true,
 		})
 		// Same rng seed per mode: both replays see identical query
 		// parameters.
@@ -171,7 +177,7 @@ func runSessionCompare(cfg experiments.Config, jsonOut bool) error {
 			for _, op := range res.Ops {
 				report.Ops = append(report.Ops, sessionOpRecord{
 					Mode: mode.name, Query: qi, Template: string(tpl),
-					Op: op.Label, Rows: op.Rows, Batches: op.Batches, WallNs: op.WallNs,
+					Op: op.Label, Node: op.Node, Rows: op.Rows, Batches: op.Batches, WallNs: op.WallNs,
 				})
 			}
 			sum.SimSeconds += res.SimSeconds
@@ -201,6 +207,48 @@ func runSessionCompare(cfg experiments.Config, jsonOut bool) error {
 	}
 	fmt.Printf("adaptation speedup (simulated time, static/adaptive): %.2fx\n", report.SimSpeedup)
 	return nil
+}
+
+// replayAdaptiveOnce replays the full adaptive schedule through a
+// distributed session over a fresh `nodes`-node store, returning the
+// total result rows — the unit the -json node sweep times at 1/4/8
+// nodes. The records exist so the whole distributed path is exercised
+// and timed at several cluster widths on every CI run; cmd/benchdiff
+// fails the build on a >2.5x wall-time cliff against BENCH_PR4.json
+// (result-row drift always fails). Absolute node scaling is hardware-
+// bound (GOMAXPROCS), so the gate guards regressions, not speedups.
+func replayAdaptiveOnce(cfg experiments.Config, data *tpch.Dataset, nodes int) (int, error) {
+	model := cfg.Model
+	if model.Nodes == 0 {
+		model = cluster.Default()
+	}
+	model.Nodes = nodes
+	store := dfs.NewStore(nodes, 2, cfg.Seed)
+	tables, err := tpch.LoadAll(store, data, tpch.LoadConfig{
+		RowsPerBlock: cfg.RowsPerBlock, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	s := session.New(store, session.Config{
+		Model:        model,
+		Optimizer:    optimizer.Config{Mode: optimizer.ModeAdaptive, WindowSize: 5, Seed: cfg.Seed},
+		BudgetBlocks: cfg.Budget,
+		Distributed:  true,
+	})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := 0
+	for qi, tpl := range sessionSchedule() {
+		in := tpch.NewInstance(tpl, data, rng)
+		res, err := s.Stream(session.Query{
+			Label: string(tpl), Plan: in.Plan(tables), Uses: in.Uses(tables),
+		}, nil)
+		if err != nil {
+			return total, fmt.Errorf("nodes=%d q%d (%s): %w", nodes, qi, tpl, err)
+		}
+		total += res.RowCount
+	}
+	return total, nil
 }
 
 // joinStrategies renders a strategy list compactly ("scan" when the

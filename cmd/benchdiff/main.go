@@ -1,0 +1,124 @@
+// Command benchdiff compares adaptdb-bench -json runs against a
+// checked-in baseline and fails when an op regresses past a threshold —
+// the CI gate that keeps the node executors from accidentally
+// serializing (or any other perf cliff) without anyone noticing.
+//
+// Usage:
+//
+//	adaptdb-bench -json -sf 0.001 -nodes 4 > run1.json
+//	adaptdb-bench -json -sf 0.001 -nodes 4 > run2.json
+//	benchdiff -baseline BENCH_PR4.json run1.json run2.json
+//
+// For each op present in both the baseline and the runs, the current
+// time is the MINIMUM over the runs (that is why CI runs the bench
+// twice: the min filters scheduler noise). Ops whose baseline time is
+// under -min-ns are reported but never fail — micro-ops jitter too much
+// on shared runners to gate on. Any remaining op slower than
+// -max-ratio × baseline fails the build. Row-count mismatches against
+// the baseline always fail: a perf gate that lets results drift is
+// worse than none.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+type record struct {
+	Op      string `json:"op"`
+	Rows    int    `json:"rows"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+type report struct {
+	Results []record `json:"results"`
+}
+
+func load(path string) (map[string]record, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]record, len(r.Results))
+	var order []string
+	for _, rec := range r.Results {
+		if _, dup := out[rec.Op]; !dup {
+			order = append(order, rec.Op)
+		}
+		out[rec.Op] = rec
+	}
+	return out, order, nil
+}
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_PR4.json", "baseline report to compare against")
+		maxRatio = flag.Float64("max-ratio", 2.5, "fail when current ns_per_op exceeds this multiple of the baseline")
+		minNs    = flag.Int64("min-ns", 5_000_000, "ops with a baseline under this many ns are informational only")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline f] [-max-ratio r] [-min-ns n] run.json [run2.json ...]")
+		os.Exit(2)
+	}
+	base, order, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	// cur[op] = min over the runs — the least-noisy observation.
+	cur := map[string]record{}
+	for _, path := range flag.Args() {
+		run, _, err := load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		for op, rec := range run {
+			if old, ok := cur[op]; !ok || rec.NsPerOp < old.NsPerOp {
+				cur[op] = rec
+			}
+		}
+	}
+
+	failed := false
+	fmt.Printf("%-30s %12s %12s %7s %s\n", "op", "baseline", "current", "ratio", "verdict")
+	for _, op := range order {
+		b := base[op]
+		c, ok := cur[op]
+		if !ok {
+			fmt.Printf("%-30s %12s %12s %7s %s\n", op, fmtNs(b.NsPerOp), "-", "-", "MISSING from runs")
+			failed = true
+			continue
+		}
+		ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
+		verdict := "ok"
+		switch {
+		case c.Rows != b.Rows:
+			verdict = fmt.Sprintf("FAIL: rows %d != baseline %d", c.Rows, b.Rows)
+			failed = true
+		case b.NsPerOp < *minNs:
+			verdict = "info (below -min-ns)"
+		case ratio > *maxRatio:
+			verdict = fmt.Sprintf("FAIL: > %.1fx", *maxRatio)
+			failed = true
+		}
+		fmt.Printf("%-30s %12s %12s %6.2fx %s\n", op, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), ratio, verdict)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}

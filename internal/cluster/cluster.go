@@ -38,6 +38,12 @@ type CostModel struct {
 	// rows crossing the network once, cheaper than the disk-based CSJ
 	// repartitioning of base tables.
 	IntermediateShuffleFactor float64
+	// ExchangeRowFactor is the per-row cost of a row crossing the
+	// simulated network through an exec.Exchange operator (remote rows
+	// only — a row routed back to its own node never leaves the machine).
+	// Like IntermediateShuffleFactor it prices a single pipelined network
+	// hop, not the disk-based CSJ repartitioning of eq. 1.
+	ExchangeRowFactor float64
 }
 
 // Default returns the model used across the experiments: 10 nodes,
@@ -50,6 +56,7 @@ func Default() CostModel {
 		SecPerRow:                 2e-3,
 		RepartWriteFactor:         2.0,
 		IntermediateShuffleFactor: 1.0,
+		ExchangeRowFactor:         1.0,
 	}
 }
 
@@ -79,6 +86,15 @@ type Counters struct {
 	// RepartRows are rows written into new partitions by the
 	// repartitioning iterator.
 	RepartRows float64
+	// ExchLocalRows / ExchRemoteRows are rows that crossed an
+	// exec.Exchange operator, split by whether the destination node is
+	// the producing node (local: no network) or another node (remote:
+	// one simulated network hop). A hyper-join over co-partitioned
+	// tables moves nothing through exchanges, so both stay zero — the
+	// §4.2 win the cost model exists to show.
+	ExchLocalRows, ExchRemoteRows float64
+	// ExchBytes approximates the wire bytes of the remote exchange rows.
+	ExchBytes float64
 
 	// Bookkeeping for experiment reporting.
 	BlocksScanned int // distinct block read events (scan+build)
@@ -138,6 +154,22 @@ func (m *Meter) AddProbe(rows int, local bool) {
 	m.c.ProbeBlocks++
 }
 
+// AddExchange meters rows flowing through an exchange operator: rows
+// delivered to the producing node itself are local (no network), rows
+// delivered to any other node are remote and carry their approximate
+// wire bytes. This is the single accounting point for simulated network
+// traffic — exchange operators call it, nothing else does.
+func (m *Meter) AddExchange(rows, bytes int, remote bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if remote {
+		m.c.ExchRemoteRows += float64(rows)
+		m.c.ExchBytes += float64(bytes)
+	} else {
+		m.c.ExchLocalRows += float64(rows)
+	}
+}
+
 // AddRepartWrite meters rows written to new partitions.
 func (m *Meter) AddRepartWrite(rows int) {
 	m.mu.Lock()
@@ -181,6 +213,9 @@ func (m *Meter) Merge(o Counters) {
 	m.c.ProbeLocal += o.ProbeLocal
 	m.c.ProbeRemote += o.ProbeRemote
 	m.c.RepartRows += o.RepartRows
+	m.c.ExchLocalRows += o.ExchLocalRows
+	m.c.ExchRemoteRows += o.ExchRemoteRows
+	m.c.ExchBytes += o.ExchBytes
 	m.c.BlocksScanned += o.BlocksScanned
 	m.c.ProbeBlocks += o.ProbeBlocks
 	m.c.ResultRows += o.ResultRows
@@ -203,6 +238,7 @@ func (c Counters) CostUnits(m CostModel) float64 {
 	u += c.ShuffleRows * (m.CSJ - 1)
 	u += c.IntermediateRows * m.IntermediateShuffleFactor
 	u += c.RepartRows * m.RepartWriteFactor
+	u += c.ExchRemoteRows * m.ExchangeRowFactor
 	return u
 }
 
@@ -218,7 +254,33 @@ func (c Counters) SimSeconds(m CostModel) float64 {
 
 // String renders a compact counters summary.
 func (c Counters) String() string {
-	return fmt.Sprintf("scan=%.0f(+%.0fr) shuffle=%.0f build=%.0f(+%.0fr) probe=%.0f(+%.0fr) repart=%.0f blocks=%d probes=%d rows=%d",
+	return fmt.Sprintf("scan=%.0f(+%.0fr) shuffle=%.0f build=%.0f(+%.0fr) probe=%.0f(+%.0fr) repart=%.0f exch=%.0f(+%.0fr) blocks=%d probes=%d rows=%d",
 		c.ScanLocal, c.ScanRemote, c.ShuffleRows, c.BuildLocal, c.BuildRemote,
-		c.ProbeLocal, c.ProbeRemote, c.RepartRows, c.BlocksScanned, c.ProbeBlocks, c.ResultRows)
+		c.ProbeLocal, c.ProbeRemote, c.RepartRows, c.ExchLocalRows, c.ExchRemoteRows,
+		c.BlocksScanned, c.ProbeBlocks, c.ResultRows)
+}
+
+// ExchRows returns the total rows that crossed exchanges, local and
+// remote — the acceptance counter for "a co-located hyper-join moves
+// nothing".
+func (c Counters) ExchRows() float64 { return c.ExchLocalRows + c.ExchRemoteRows }
+
+// NewShards returns n independent meters plus a merge function that
+// folds (and resets) every shard into dst exactly once per call. The
+// per-node executors each own one shard, so hot-path metering never
+// contends on a shared mutex; the session merges after each query's
+// drain — "shard the meter per node and merge once".
+func NewShards(n int) ([]*Meter, func(dst *Meter)) {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]*Meter, n)
+	for i := range shards {
+		shards[i] = &Meter{}
+	}
+	return shards, func(dst *Meter) {
+		for _, s := range shards {
+			dst.Merge(s.Reset())
+		}
+	}
 }

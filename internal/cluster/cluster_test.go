@@ -139,6 +139,73 @@ func TestMeterConcurrentSafety(t *testing.T) {
 	}
 }
 
+// TestMeterMergeSnapshotUnderContention is the audit demanded by the
+// per-node executors: probe workers hammer Add* methods on shards while
+// another goroutine Merges shard snapshots into an aggregate and a
+// third keeps Snapshotting it. Run under -race (CI does), this proves
+// Merge and Snapshot are safe against concurrent mutation and that the
+// shard-then-merge-once scheme loses no updates.
+func TestMeterMergeSnapshotUnderContention(t *testing.T) {
+	const shards, rounds = 4, 500
+	ms, flush := NewShards(shards)
+	var agg Meter
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(m *Meter) {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				m.AddScan(1, j%2 == 0)
+				m.AddExchange(2, 64, true)
+				m.AddShuffle(1)
+			}
+		}(ms[i])
+	}
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = agg.Snapshot()
+				flush(&agg) // interleaved merges must never lose rows
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	flush(&agg)
+	c := agg.Snapshot()
+	if got := c.ScanLocal + c.ScanRemote; got != shards*rounds {
+		t.Errorf("scan rows lost under contention: got %v want %d", got, shards*rounds)
+	}
+	if c.ExchRemoteRows != shards*rounds*2 {
+		t.Errorf("exchange rows lost: got %v want %d", c.ExchRemoteRows, shards*rounds*2)
+	}
+	if c.ExchBytes != shards*rounds*64 {
+		t.Errorf("exchange bytes lost: got %v want %d", c.ExchBytes, shards*rounds*64)
+	}
+}
+
+// TestExchangeCostUnits: remote exchange rows are priced by
+// ExchangeRowFactor; local ones are free.
+func TestExchangeCostUnits(t *testing.T) {
+	m := Default()
+	local := Counters{ExchLocalRows: 1000}
+	if got := local.CostUnits(m); got != 0 {
+		t.Errorf("local exchange rows should be free, cost %v", got)
+	}
+	remote := Counters{ExchRemoteRows: 1000}
+	if got := remote.CostUnits(m); got != 1000*m.ExchangeRowFactor {
+		t.Errorf("remote exchange cost %v, want %v", got, 1000*m.ExchangeRowFactor)
+	}
+}
+
 func TestCountersString(t *testing.T) {
 	c := Counters{ScanLocal: 1}
 	if c.String() == "" {

@@ -220,3 +220,48 @@ func TestStats(t *testing.T) {
 		t.Errorf("Stats = %+v", st)
 	}
 }
+
+// TestConcurrentReadersWithMigration hammers the store the way the
+// per-node executors do: N reader goroutines (one per node, each
+// reading from its own vantage point, like pinned scan workers) race a
+// migrator that appends, re-places, and deletes blocks. Run under -race
+// by CI; correctness here is just "no panic, no torn reads".
+func TestConcurrentReadersWithMigration(t *testing.T) {
+	s := NewStore(4, 2, 9)
+	for i := 0; i < 16; i++ {
+		s.PutBlock(fmt.Sprintf("t/0/%d", i), blockOf(int64(i), int64(i+100)))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for n := 0; n < 4; n++ {
+		wg.Add(1)
+		go func(node NodeID) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 16; i++ {
+					blk, _, err := s.GetBlock(fmt.Sprintf("t/0/%d", i), node)
+					if err == nil && blk.Len() == 0 {
+						t.Error("read an empty block mid-migration")
+						return
+					}
+					s.Placement(fmt.Sprintf("t/0/%d", i))
+				}
+			}
+		}(NodeID(n))
+	}
+	for round := 0; round < 50; round++ {
+		i := round % 16
+		s.Append(fmt.Sprintf("t/1/%d", i), sch, []tuple.Tuple{row(int64(round))})
+		if err := s.SetPlacement(fmt.Sprintf("t/0/%d", i), []NodeID{NodeID(round % 4)}); err != nil {
+			t.Fatal(err)
+		}
+		s.Delete(fmt.Sprintf("t/1/%d", (i+8)%16))
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -32,6 +32,15 @@
 // (sequential stream union) and SwapSides (column-order repair for
 // flipped builds) — are what the planner's compiler wires around these
 // to turn a whole plan tree into one executable DAG.
+//
+// The per-node fabric (nodes.go, exchange.go) turns the executor into
+// an N-node simulated cluster: EnableNodes gives every dfs node its own
+// executor view (pinned worker pool + meter shard), NodeSet.SplitRefs
+// schedules scans where blocks live, and Exchange operators
+// (Shuffle/ShuffleGlobal/Broadcast/Deal) move batches between node
+// fragments, metering the rows and bytes that cross nodes. Gather
+// merges per-node streams at the coordinator. A co-located hyper-join
+// uses no exchange at all — zero rows cross the simulated network.
 // The legacy slice-returning layer (Scan, ScanRefs, ShuffleJoin*,
 // HyperJoin) consists of thin Collect() adapters over those operators,
 // kept so the planner, experiments and baselines can stay

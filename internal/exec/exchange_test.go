@@ -1,0 +1,259 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+// nodeSetOf builds an N-node fabric over an empty store for pure
+// exchange tests (no blocks involved).
+func nodeSetOf(t *testing.T, n int) (*NodeSet, *Executor) {
+	t.Helper()
+	store := dfs.NewStore(n, 1, 1)
+	ex := New(store, &cluster.Meter{})
+	return ex.EnableNodes(1), ex
+}
+
+func keyRows(keys []int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = tuple.Tuple{value.NewInt(k), value.NewInt(int64(i))}
+	}
+	return out
+}
+
+// drainOutputs collects every output of an exchange concurrently (the
+// contract: all outputs must be drained for the exchange to finish).
+func drainOutputs(t *testing.T, x *Exchange, n int) [][]tuple.Tuple {
+	t.Helper()
+	got := make([][]tuple.Tuple, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = Collect(x.Output(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("output %d: %v", i, err)
+		}
+	}
+	return got
+}
+
+// TestShuffleExchangeHash64Routing: hash partitioning is deterministic
+// and value.Hash64-consistent — every row lands exactly on node
+// Hash64(key) % N, and nothing is lost or duplicated.
+func TestShuffleExchangeHash64Routing(t *testing.T) {
+	const n = 4
+	ns, _ := nodeSetOf(t, n)
+	var keys []int64
+	for i := int64(0); i < 1000; i++ {
+		keys = append(keys, i%123)
+	}
+	rows := keyRows(keys)
+	parts := make([]Operator, n)
+	for i := range parts {
+		// Spread the input over the nodes unevenly, like a skewed scan.
+		lo, hi := i*len(rows)/n, (i+1)*len(rows)/n
+		parts[i] = NewSource(rows[lo:hi])
+	}
+	x := ns.Shuffle(parts, 0)
+	got := drainOutputs(t, x, n)
+	total := 0
+	for node, rs := range got {
+		total += len(rs)
+		for _, r := range rs {
+			want := int(r[0].Hash64() % uint64(n))
+			if want != node {
+				t.Fatalf("row with key %v routed to node %d, Hash64%%%d says %d", r[0], node, n, want)
+			}
+		}
+	}
+	if total != len(rows) {
+		t.Fatalf("exchange delivered %d rows, want %d", total, len(rows))
+	}
+	// Determinism: a second identical exchange routes identically.
+	parts2 := make([]Operator, n)
+	for i := range parts2 {
+		lo, hi := i*len(rows)/n, (i+1)*len(rows)/n
+		parts2[i] = NewSource(rows[lo:hi])
+	}
+	got2 := drainOutputs(t, ns.Shuffle(parts2, 0), n)
+	for node := range got {
+		if len(got[node]) != len(got2[node]) {
+			t.Fatalf("node %d: %d rows on first run, %d on second", node, len(got[node]), len(got2[node]))
+		}
+	}
+}
+
+// TestBroadcastDuplicatesExactlyOnce: every node's output is exactly
+// the input multiset — no drops, no double delivery.
+func TestBroadcastDuplicatesExactlyOnce(t *testing.T) {
+	const n = 4
+	ns, _ := nodeSetOf(t, n)
+	rows := keyRows([]int64{7, 7, 1, 2, 3, 3, 3, 99})
+	x := ns.Broadcast(NewSource(rows))
+	got := drainOutputs(t, x, n)
+	want := append([]tuple.Tuple(nil), rows...)
+	SortRows(want)
+	for node, rs := range got {
+		if len(rs) != len(rows) {
+			t.Fatalf("node %d got %d rows, want %d", node, len(rs), len(rows))
+		}
+		SortRows(rs)
+		for i := range rs {
+			if value.Compare(rs[i][0], want[i][0]) != 0 || value.Compare(rs[i][1], want[i][1]) != 0 {
+				t.Fatalf("node %d row %d = %v, want %v", node, i, rs[i], want[i])
+			}
+		}
+	}
+}
+
+// TestExchangeNullKeysNeverMatch: NULL join keys survive the exchange
+// (routed deterministically to node 0) but never produce a match in the
+// downstream per-node joins, exactly like the centralized join.
+func TestExchangeNullKeysNeverMatch(t *testing.T) {
+	const n = 3
+	ns, _ := nodeSetOf(t, n)
+	null := value.Value{}
+	build := []tuple.Tuple{
+		{null, value.NewInt(100)},
+		{value.NewInt(1), value.NewInt(101)},
+		{value.NewInt(2), value.NewInt(102)},
+	}
+	probe := []tuple.Tuple{
+		{null, value.NewInt(200)},
+		{value.NewInt(1), value.NewInt(201)},
+		{null, value.NewInt(202)},
+		{value.NewInt(3), value.NewInt(203)},
+	}
+	bx := ns.ShuffleGlobal(NewSource(build), 0)
+	px := ns.ShuffleGlobal(NewSource(probe), 0)
+	parts := make([]Operator, n)
+	for i := 0; i < n; i++ {
+		parts[i] = ns.At(i).JoinOp(bx.Output(i), 0, px.Output(i), 0, JoinOptions{})
+	}
+	got, err := Collect(Gather(parts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NestedLoopJoin(build, probe, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("exchanged join produced %d rows, oracle %d", len(got), len(want))
+	}
+	for _, r := range got {
+		if r[0].IsNull() || r[2].IsNull() {
+			t.Fatalf("NULL key matched across the exchange: %v", r)
+		}
+	}
+}
+
+// TestExchangeMetering: same-node deliveries are free, cross-node ones
+// are charged with bytes, and a single-node fabric never pays.
+func TestExchangeMetering(t *testing.T) {
+	ns1, ex1 := nodeSetOf(t, 1)
+	rows := keyRows([]int64{1, 2, 3, 4, 5})
+	drainOutputs(t, ns1.Shuffle([]Operator{NewSource(rows)}, 0), 1)
+	ns1.Flush()
+	c := ex1.Meter.Snapshot()
+	if c.ExchRemoteRows != 0 {
+		t.Fatalf("single-node exchange metered %v remote rows", c.ExchRemoteRows)
+	}
+	if c.ExchLocalRows != float64(len(rows)) {
+		t.Fatalf("single-node exchange metered %v local rows, want %d", c.ExchLocalRows, len(rows))
+	}
+
+	const n = 4
+	ns, ex := nodeSetOf(t, n)
+	var keys []int64
+	for i := int64(0); i < 400; i++ {
+		keys = append(keys, i)
+	}
+	all := keyRows(keys)
+	parts := make([]Operator, n)
+	for i := range parts {
+		lo, hi := i*len(all)/n, (i+1)*len(all)/n
+		parts[i] = NewSource(all[lo:hi])
+	}
+	drainOutputs(t, ns.Shuffle(parts, 0), n)
+	ns.Flush()
+	c = ex.Meter.Snapshot()
+	if got := c.ExchRows(); got != float64(len(all)) {
+		t.Fatalf("exchange metered %v rows total, want %d", got, len(all))
+	}
+	if c.ExchRemoteRows == 0 {
+		t.Fatal("4-node exchange should meter some remote rows")
+	}
+	if c.ExchBytes <= 0 {
+		t.Fatal("remote exchange rows should carry bytes")
+	}
+
+	// Broadcast from a coordinator stream: every copy is remote.
+	nsb, exb := nodeSetOf(t, n)
+	drainOutputs(t, nsb.Broadcast(NewSource(rows)), n)
+	nsb.Flush()
+	c = exb.Meter.Snapshot()
+	if c.ExchRemoteRows != float64(n*len(rows)) {
+		t.Fatalf("broadcast metered %v remote rows, want %d", c.ExchRemoteRows, n*len(rows))
+	}
+}
+
+// TestGatherMergesAndPropagatesErrors: Gather unions child streams and
+// surfaces the first child error after the merge drains.
+func TestGatherMergesAndPropagatesErrors(t *testing.T) {
+	a := NewSource(keyRows([]int64{1, 2, 3}))
+	b := NewSource(keyRows([]int64{4, 5}))
+	rows, err := Collect(Gather(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("gather produced %d rows, want 5", len(rows))
+	}
+
+	boom := errors.New("boom")
+	_, err = Collect(Gather(NewSource(keyRows([]int64{1})), &failingOp{err: boom}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("gather error = %v, want %v", err, boom)
+	}
+}
+
+// TestExchangeCloseWithoutOpen: closing an output of an exchange whose
+// producers never started must return immediately instead of blocking
+// on a channel nothing will ever close — the teardown path when a
+// join's build side errors before its probe exchange is opened.
+func TestExchangeCloseWithoutOpen(t *testing.T) {
+	const n = 3
+	ns, _ := nodeSetOf(t, n)
+	x := ns.Broadcast(NewSource(keyRows([]int64{1, 2, 3})))
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			x.Output(i).Close()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close on a never-opened exchange output hung")
+	}
+}
+
+type failingOp struct{ err error }
+
+func (f *failingOp) Open() error           { return nil }
+func (f *failingOp) Next() (*Batch, error) { return nil, f.err }
+func (f *failingOp) Close() error          { return nil }

@@ -30,6 +30,15 @@ type Executor struct {
 	// block and filter row by row. The "Full Scan" baseline of §7.3 runs
 	// this way.
 	NoPrune bool
+
+	// pin, when pinned, forces every task of this executor to run at one
+	// node — the per-node executor views a NodeSet hands out. Reads of
+	// blocks without a local replica are then metered remote instead of
+	// chasing the primary replica.
+	pin    dfs.NodeID
+	pinned bool
+	// nodes is the per-node execution fabric, nil in centralized mode.
+	nodes *NodeSet
 }
 
 // New builds an executor.
@@ -48,10 +57,14 @@ func (e *Executor) workers() int {
 	return n
 }
 
-// taskNode picks the execution node for a block's task: its primary
+// taskNode picks the execution node for a block's task: the pinned node
+// for a NodeSet's per-node executor view, else the block's primary
 // replica, mirroring Spark/HDFS locality scheduling (scans are ~100%
 // local, Fig. 7's normal case).
 func (e *Executor) taskNode(path string) dfs.NodeID {
+	if e.pinned {
+		return e.pin
+	}
 	if p := e.Store.Placement(path); len(p) > 0 {
 		return p[0]
 	}

@@ -16,7 +16,11 @@ import (
 // does its children's work inside Next, so a parent's time contains its
 // subtree's.
 type OpStats struct {
-	Label   string
+	Label string
+	// Node is the cluster node the operator ran on, or -1 for
+	// coordinator-side / centralized operators. Per-node stats are what
+	// make execution skew visible in session results.
+	Node    int
 	Batches int64
 	Rows    int64
 	WallNs  int64
@@ -39,7 +43,14 @@ type Instrumented struct {
 // onDone (optional) runs once, at end of stream or at Close, whichever
 // comes first.
 func Instrument(label string, child Operator, onDone func(OpStats)) *Instrumented {
-	return &Instrumented{child: child, stats: OpStats{Label: label}, onDone: onDone}
+	return &Instrumented{child: child, stats: OpStats{Label: label, Node: -1}, onDone: onDone}
+}
+
+// AtNode tags the operator's stats with the cluster node it runs on.
+// Returns the receiver for fluent wiring in the distributed compiler.
+func (i *Instrumented) AtNode(node int) *Instrumented {
+	i.stats.Node = node
+	return i
 }
 
 // Stats returns a snapshot of the counters; complete once the stream is

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"adaptdb/internal/cluster"
 	"adaptdb/internal/core"
 	"adaptdb/internal/dfs"
 	"adaptdb/internal/hyperjoin"
@@ -472,6 +473,41 @@ const (
 	joinRadixShift = 64 - joinRadixBits
 )
 
+// ChargeRows wraps an operator so every row flowing through it is
+// metered at the given rate — the virtual-shuffle accounting point. The
+// join itself no longer calls Meter.Add* anywhere: in centralized mode
+// its inputs are wrapped here, and in distributed mode the Exchange
+// operators meter the rows that physically move instead.
+func ChargeRows(child Operator, m *cluster.Meter, charge JoinCharge) Operator {
+	if charge == ChargeNone {
+		return child
+	}
+	return &chargeOp{child: child, m: m, charge: charge}
+}
+
+type chargeOp struct {
+	child  Operator
+	m      *cluster.Meter
+	charge JoinCharge
+}
+
+func (c *chargeOp) Open() error { return c.child.Open() }
+
+func (c *chargeOp) Next() (*Batch, error) {
+	b, err := c.child.Next()
+	if b != nil {
+		switch c.charge {
+		case ChargeShuffle:
+			c.m.AddShuffle(b.Len())
+		case ChargeIntermediate:
+			c.m.AddIntermediateShuffle(b.Len())
+		}
+	}
+	return b, err
+}
+
+func (c *chargeOp) Close() error { return c.child.Close() }
+
 // JoinOp returns a pipelined, partition-parallel hash join: Open drains
 // the build input, radix-partitioning rows by key hash across the
 // executor's worker pool and sealing one joinTable per partition; Next
@@ -481,7 +517,13 @@ const (
 // once at end of stream. The probe side is never materialized — this is
 // where the pipeline beats the slice APIs on wide joins. Output batch
 // order is nondeterministic when more than one worker runs.
+//
+// The input-charge options are applied by wrapping the inputs in
+// ChargeRows; the join body itself never touches the meter beyond its
+// result-row count.
 func (e *Executor) JoinOp(build Operator, buildCol int, probe Operator, probeCol int, opts JoinOptions) Operator {
+	build = ChargeRows(build, e.Meter, opts.BuildCharge)
+	probe = ChargeRows(probe, e.Meter, opts.ProbeCharge)
 	return &hashJoinOp{e: e, build: build, probe: probe, bCol: buildCol, pCol: probeCol, opts: opts}
 }
 
@@ -502,15 +544,6 @@ type hashJoinOp struct {
 	results atomic.Int64
 	perr    error // probe-side error; published before in closes
 	metered bool
-}
-
-func (j *hashJoinOp) charge(c JoinCharge, rows int) {
-	switch c {
-	case ChargeShuffle:
-		j.e.Meter.AddShuffle(rows)
-	case ChargeIntermediate:
-		j.e.Meter.AddIntermediateShuffle(rows)
-	}
 }
 
 func (j *hashJoinOp) workerCount() int {
@@ -584,7 +617,8 @@ func (j *hashJoinOp) buildTables() error {
 		}(bufs[i])
 	}
 	// A single goroutine owns build.Next (operators need not be
-	// concurrency-safe) and meters batches as they enter the join.
+	// concurrency-safe); input charging happens in the ChargeRows
+	// wrappers JoinOp installed, not here.
 	var err error
 	for {
 		b, berr := j.build.Next()
@@ -595,7 +629,6 @@ func (j *hashJoinOp) buildTables() error {
 		if b == nil {
 			break
 		}
-		j.charge(j.opts.BuildCharge, b.Len())
 		in <- b
 	}
 	close(in)
@@ -636,9 +669,9 @@ func (j *hashJoinOp) buildTables() error {
 }
 
 // dispatchProbe feeds probe batches to the workers. A single goroutine
-// owns probe.Next and meters each batch as it enters the join; even
-// with an empty hash table the probe side drains so its rows are
-// metered, matching ShuffleJoinRows on an empty side.
+// owns probe.Next; even with an empty hash table the probe side drains
+// so its rows pass the ChargeRows wrapper and are metered, matching
+// ShuffleJoinRows on an empty side.
 func (j *hashJoinOp) dispatchProbe() {
 	defer close(j.in)
 	for {
@@ -650,7 +683,6 @@ func (j *hashJoinOp) dispatchProbe() {
 		if b == nil {
 			return
 		}
-		j.charge(j.opts.ProbeCharge, b.Len())
 		select {
 		case j.in <- b:
 		case <-j.done:

@@ -27,6 +27,7 @@ package session
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"adaptdb/internal/cluster"
@@ -65,6 +66,17 @@ type Config struct {
 	ForceShuffle bool
 	// Workers bounds executor parallelism; 0 = one per store node.
 	Workers int
+	// Distributed enables the per-node execution fabric: every store
+	// node gets its own executor (worker pool + meter shard), scans run
+	// where their blocks live, and joins move rows through exchange
+	// operators instead of a central pool. Query results are identical
+	// to centralized mode; the metered I/O switches from call-site
+	// shuffle charges to exchange-side network accounting.
+	Distributed bool
+	// WorkersPerNode bounds each node executor's parallelism in
+	// distributed mode (0 = one worker per node, so aggregate
+	// parallelism scales with the cluster).
+	WorkersPerNode int
 }
 
 // Session executes a query stream with adaptation interleaved.
@@ -88,6 +100,9 @@ func New(store *dfs.Store, cfg Config) *Session {
 	meter := &cluster.Meter{}
 	ex := exec.New(store, meter)
 	ex.Workers = cfg.Workers
+	if cfg.Distributed {
+		ex.EnableNodes(cfg.WorkersPerNode)
+	}
 	runner := planner.NewRunner(ex, model)
 	if cfg.BudgetBlocks > 0 {
 		runner.BudgetBlocks = cfg.BudgetBlocks
@@ -150,8 +165,12 @@ func (s *Session) run(q Query, collect bool, sink func(*exec.Batch) error) (*Res
 	// Whatever happens — including a compile or execution error — this
 	// query's metered I/O is captured into its result and the shared
 	// meter is reset, so a failed query never leaks counters into the
-	// next one's accounting.
+	// next one's accounting. In distributed mode the per-node meter
+	// shards are folded in first — the "merge once per query" point.
 	defer func() {
+		if ns := s.ex.Nodes(); ns != nil {
+			ns.Flush()
+		}
 		res.Wall = time.Since(start)
 		res.Counters = s.meter.Reset()
 		res.SimSeconds = res.Counters.SimSeconds(s.model)
@@ -213,6 +232,52 @@ func (s *Session) drain(op exec.Operator, sink func(*exec.Batch) error) (int, er
 		}
 		b.Release()
 	}
+}
+
+// NodeLoad aggregates one node's share of a query's work — rows and
+// wall time summed over every operator that ran at the node. Comparing
+// entries exposes execution skew (one node scanning or joining far more
+// than its peers).
+type NodeLoad struct {
+	Node    int
+	Ops     int
+	Rows    int64
+	Batches int64
+	WallNs  int64
+}
+
+// PerNode folds the per-operator stats by execution node, ascending.
+// Coordinator-side operators (node -1, e.g. a gathered hyper-join) fold
+// into the leading -1 entry. Empty in centralized mode, where no
+// operator carries a node tag.
+func (r *Result) PerNode() []NodeLoad {
+	byNode := map[int]*NodeLoad{}
+	for _, op := range r.Ops {
+		nl, ok := byNode[op.Node]
+		if !ok {
+			nl = &NodeLoad{Node: op.Node}
+			byNode[nl.Node] = nl
+		}
+		nl.Ops++
+		nl.Rows += op.Rows
+		nl.Batches += op.Batches
+		nl.WallNs += op.WallNs
+	}
+	nodes := make([]int, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	out := make([]NodeLoad, 0, len(nodes))
+	for _, n := range nodes {
+		if n < 0 && len(byNode) == 1 {
+			// Centralized runs tag everything -1; per-node loads would
+			// be meaningless.
+			break
+		}
+		out = append(out, *byNode[n])
+	}
+	return out
 }
 
 // Queries returns how many queries the session has executed.
