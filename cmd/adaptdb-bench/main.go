@@ -15,6 +15,11 @@
 //	adaptdb-bench -session -sf 0.01   # adaptive session replay, on vs off,
 //	                                  # on per-node executors (-nodes N)
 //	adaptdb-bench -session -json      # per-operator records (BENCH_PR3.json)
+//	adaptdb-bench -spill -sf 0.1      # shuffle join across memory budgets
+//	                                  # {inf, 1/2, 1/8 build}; -json emits
+//	                                  # BENCH_PR5.json (self-gates on result
+//	                                  # checksums)
+//	adaptdb-bench -mem 50000000 ...   # budget the -pipeline/-session runs
 package main
 
 import (
@@ -70,6 +75,7 @@ func main() {
 		fig      = flag.String("fig", "", "run a single experiment (e.g. fig12); empty = all")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		pipeline = flag.Bool("pipeline", false, "compare materialized vs pipelined executor paths and exit")
+		spill    = flag.Bool("spill", false, "sweep the shuffle join across memory budgets {inf, 1/2 build, 1/8 build} and exit (BENCH_PR5.json with -json)")
 		sess     = flag.Bool("session", false, "replay a join-attribute-shifting TPC-H stream through adaptive sessions (adaptation on vs off) and exit")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (implies -pipeline, or the session replay with -session); track results in BENCH_*.json")
 		sf       = flag.Float64("sf", 0, "TPC-H micro scale factor (default 0.002)")
@@ -77,6 +83,7 @@ func main() {
 		budget   = flag.Int("budget", 0, "hyper-join buffer in blocks (default 8)")
 		nodes    = flag.Int("nodes", 0, "simulated cluster nodes; with -session, also the per-node executor count (default 10)")
 		seed     = flag.Int64("seed", 0, "random seed (default 42)")
+		mem      = flag.Int64("mem", 0, "operator memory budget in bytes for -pipeline/-session runs (0 = unlimited; joins spill to disk run files beyond it)")
 		trips    = flag.Int("trips", 4000, "CMT trips for fig18")
 		ilpSteps = flag.Int64("ilp-steps", 0, "exact-search step cap for fig17")
 	)
@@ -104,15 +111,22 @@ func main() {
 		f17.MaxSteps = *ilpSteps
 	}
 
+	if *spill {
+		if err := runSpillBench(cfg, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "spill: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sess {
-		if err := runSessionCompare(cfg, *jsonOut); err != nil {
+		if err := runSessionCompare(cfg, *jsonOut, *mem); err != nil {
 			fmt.Fprintf(os.Stderr, "session: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *pipeline || *jsonOut {
-		if err := runPipelineCompare(cfg, *jsonOut); err != nil {
+		if err := runPipelineCompare(cfg, *jsonOut, *mem); err != nil {
 			fmt.Fprintf(os.Stderr, "pipeline: %v\n", err)
 			os.Exit(1)
 		}
@@ -173,10 +187,10 @@ type benchReport struct {
 // and the batched Operator pipeline, reporting wall time, result rows,
 // and allocations per path — as a plain-text table, or as JSON when
 // jsonOut is set.
-func runPipelineCompare(cfg experiments.Config, jsonOut bool) error {
+func runPipelineCompare(cfg experiments.Config, jsonOut bool, mem int64) error {
 	if !jsonOut {
-		fmt.Printf("executor pipeline comparison (SF=%.4g, rows/block=%d, %d nodes, batch=%d rows)\n\n",
-			cfg.SF, cfg.RowsPerBlock, cfg.Nodes, exec.DefaultBatchSize)
+		fmt.Printf("executor pipeline comparison (SF=%.4g, rows/block=%d, %d nodes, batch=%d rows, mem=%d)\n\n",
+			cfg.SF, cfg.RowsPerBlock, cfg.Nodes, exec.DefaultBatchSize, mem)
 	}
 	ds := tpch.Generate(cfg.SF, cfg.Seed)
 	store := dfs.NewStore(cfg.Nodes, 3, cfg.Seed)
@@ -193,6 +207,7 @@ func runPipelineCompare(cfg experiments.Config, jsonOut bool) error {
 		return err
 	}
 	ex := exec.New(store, &cluster.Meter{})
+	ex.Mem = exec.NewMemBudget(mem)
 
 	report := benchReport{
 		SF: cfg.SF, RowsPerBlock: cfg.RowsPerBlock, Nodes: cfg.Nodes, BatchSize: exec.DefaultBatchSize,
@@ -271,7 +286,7 @@ func runPipelineCompare(cfg experiments.Config, jsonOut bool) error {
 	for _, n := range []int{1, 4, 8} {
 		n := n
 		if err := measure(fmt.Sprintf("adaptive-session/nodes=%d", n), func() (int, error) {
-			return replayAdaptiveOnce(cfg, ds, n)
+			return replayAdaptiveOnce(cfg, ds, n, mem)
 		}); err != nil {
 			return err
 		}

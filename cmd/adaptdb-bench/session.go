@@ -89,7 +89,7 @@ func sessionSchedule() []tpch.Template {
 // random partitioning) — over identical data and query parameters, and
 // reports per-query strategies, per-operator stats, and the total
 // simulated time of each mode.
-func runSessionCompare(cfg experiments.Config, jsonOut bool) error {
+func runSessionCompare(cfg experiments.Config, jsonOut bool, mem int64) error {
 	// |W|=5 (the small end of the Fig. 15 sweep): the migration fraction
 	// ramps by n/|W| per query, so a short window converges in ~5
 	// queries — at bench-sized phases (24 queries vs the paper's 100+)
@@ -143,6 +143,7 @@ func runSessionCompare(cfg experiments.Config, jsonOut bool) error {
 			Model:        model,
 			Optimizer:    optimizer.Config{Mode: mode.mode, WindowSize: window, Seed: cfg.Seed},
 			BudgetBlocks: cfg.Budget,
+			MemBudget:    mem,
 			Distributed:  true,
 		})
 		// Same rng seed per mode: both replays see identical query
@@ -217,7 +218,7 @@ func runSessionCompare(cfg experiments.Config, jsonOut bool) error {
 // fails the build on a >2.5x wall-time cliff against BENCH_PR4.json
 // (result-row drift always fails). Absolute node scaling is hardware-
 // bound (GOMAXPROCS), so the gate guards regressions, not speedups.
-func replayAdaptiveOnce(cfg experiments.Config, data *tpch.Dataset, nodes int) (int, error) {
+func replayAdaptiveOnce(cfg experiments.Config, data *tpch.Dataset, nodes int, mem int64) (int, error) {
 	model := cfg.Model
 	if model.Nodes == 0 {
 		model = cluster.Default()
@@ -234,6 +235,7 @@ func replayAdaptiveOnce(cfg experiments.Config, data *tpch.Dataset, nodes int) (
 		Model:        model,
 		Optimizer:    optimizer.Config{Mode: optimizer.ModeAdaptive, WindowSize: 5, Seed: cfg.Seed},
 		BudgetBlocks: cfg.Budget,
+		MemBudget:    mem,
 		Distributed:  true,
 	})
 	rng := rand.New(rand.NewSource(cfg.Seed))

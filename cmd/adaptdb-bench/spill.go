@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"time"
+
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/core"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/exec"
+	"adaptdb/internal/experiments"
+	"adaptdb/internal/tpch"
+)
+
+// spillRecord is one memory-budget point of the spill sweep. Checksum
+// is an order-independent digest of the result multiset: identical
+// checksums across budgets mean the spilling runs produced bit-
+// identical results to the unbudgeted one, which is the PR-5
+// acceptance gate (the bench exits non-zero on drift).
+type spillRecord struct {
+	Op           string  `json:"op"`
+	BudgetBytes  int64   `json:"budget_bytes"`
+	BudgetFrac   string  `json:"budget_frac"`
+	Rows         int     `json:"rows"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	SpilledBytes int64   `json:"spilled_bytes"`
+	SpillRows    int64   `json:"spill_rows"`
+	Checksum     string  `json:"checksum"`
+	VsUnbudgeted float64 `json:"vs_unbudgeted"`
+}
+
+// spillReport is the machine-readable output of -spill -json — the
+// BENCH_PR5.json series.
+type spillReport struct {
+	SF             float64       `json:"sf"`
+	RowsPerBlock   int           `json:"rows_per_block"`
+	BatchSize      int           `json:"batch_size"`
+	BuildRows      int           `json:"build_rows"`
+	BuildMemBytes  int64         `json:"build_mem_bytes"`
+	Results        []spillRecord `json:"results"`
+	ChecksumsEqual bool          `json:"checksums_equal"`
+}
+
+// runSpillBench sweeps the SF-scale lineitem ⋈ orders shuffle join
+// (build on orders, probe streamed) across memory budgets {∞, 1/2
+// build, 1/8 build}, streaming the output through an order-independent
+// checksum so no run materializes anything. Budgeted runs demote build
+// partitions to run files (the spilling hybrid hash join); the report
+// carries their spilled bytes and wall-time ratio against the
+// unbudgeted run.
+func runSpillBench(cfg experiments.Config, jsonOut bool) error {
+	ds := tpch.Generate(cfg.SF, cfg.Seed)
+	store := dfs.NewStore(cfg.Nodes, 3, cfg.Seed)
+	line, err := core.Load(store, "lineitem", tpch.LineitemSchema, ds.Lineitem, core.LoadOptions{
+		RowsPerBlock: cfg.RowsPerBlock, Seed: cfg.Seed, JoinAttr: tpch.LOrderKey,
+	})
+	if err != nil {
+		return err
+	}
+	ord, err := core.Load(store, "orders", tpch.OrdersSchema, ds.Orders, core.LoadOptions{
+		RowsPerBlock: cfg.RowsPerBlock, Seed: cfg.Seed + 1, JoinAttr: tpch.OOrderKey,
+	})
+	if err != nil {
+		return err
+	}
+	buildBytes := int64(0)
+	for _, r := range ds.Orders {
+		buildBytes += int64(r.MemBytes())
+	}
+	report := spillReport{
+		SF: cfg.SF, RowsPerBlock: cfg.RowsPerBlock, BatchSize: exec.DefaultBatchSize,
+		BuildRows: len(ds.Orders), BuildMemBytes: buildBytes,
+	}
+	if !jsonOut {
+		fmt.Printf("spilling shuffle join sweep (SF=%.4g, build side %d rows ≈ %.1f MiB)\n\n",
+			cfg.SF, len(ds.Orders), float64(buildBytes)/(1<<20))
+		fmt.Printf("%-24s %12s %12s %14s %10s %8s\n", "budget", "wall", "rows", "spilled", "checksum", "vs-inf")
+	}
+	budgets := []struct {
+		frac  string
+		bytes int64
+	}{
+		{"inf", 0},
+		{"build/2", buildBytes / 2},
+		{"build/8", buildBytes / 8},
+	}
+	var baseNs int64
+	var baseSum string
+	for _, b := range budgets {
+		meter := &cluster.Meter{}
+		ex := exec.New(store, meter)
+		ex.Mem = exec.NewMemBudget(b.bytes)
+		op := ex.JoinOp(
+			ex.TableScanOp(ord, nil), tpch.OOrderKey,
+			ex.TableScanOp(line, nil), tpch.LOrderKey,
+			exec.JoinOptions{BuildIsRight: true},
+		)
+		start := time.Now()
+		rows, sum, err := checksumDrain(op)
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("budget %s: %w", b.frac, err)
+		}
+		c := meter.Snapshot()
+		rec := spillRecord{
+			Op:           "spill-join/mem=" + b.frac,
+			BudgetBytes:  b.bytes,
+			BudgetFrac:   b.frac,
+			Rows:         rows,
+			NsPerOp:      wall.Nanoseconds(),
+			SpilledBytes: int64(c.SpillBytes),
+			SpillRows:    int64(c.SpillRows),
+			Checksum:     sum,
+		}
+		if b.frac == "inf" {
+			baseNs, baseSum = rec.NsPerOp, rec.Checksum
+			rec.VsUnbudgeted = 1
+		} else if baseNs > 0 {
+			rec.VsUnbudgeted = float64(rec.NsPerOp) / float64(baseNs)
+		}
+		report.Results = append(report.Results, rec)
+		if !jsonOut {
+			fmt.Printf("%-24s %12s %12d %14s %10s %7.2fx\n", rec.Op, wall.Round(time.Millisecond),
+				rows, fmtBytes(uint64(rec.SpilledBytes)), sum[:8], rec.VsUnbudgeted)
+		}
+	}
+	report.ChecksumsEqual = true
+	for _, rec := range report.Results {
+		if rec.Checksum != baseSum || rec.Rows != report.Results[0].Rows {
+			report.ChecksumsEqual = false
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	}
+	if !report.ChecksumsEqual {
+		return fmt.Errorf("budgeted results drifted from the unbudgeted run — spill path is WRONG")
+	}
+	if !jsonOut {
+		fmt.Println("\nall budgets bit-identical to the unbudgeted run")
+	}
+	return nil
+}
+
+// checksumDrain pulls an operator to exhaustion, folding every row's
+// binary encoding into an order-independent (commutative-sum) FNV
+// digest — result identity across nondeterministically ordered parallel
+// runs, with nothing materialized.
+func checksumDrain(op exec.Operator) (int, string, error) {
+	if err := op.Open(); err != nil {
+		return 0, "", err
+	}
+	defer op.Close()
+	var sum uint64
+	var enc []byte
+	n := 0
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return n, "", err
+		}
+		if b == nil {
+			return n, fmt.Sprintf("%016x", sum), nil
+		}
+		for _, r := range b.Rows() {
+			enc = r.AppendBinary(enc[:0])
+			h := fnv.New64a()
+			h.Write(enc)
+			sum += h.Sum64() // commutative: batch order cannot matter
+		}
+		n += b.Len()
+		b.Release()
+	}
+}

@@ -57,6 +57,53 @@ func load(path string) (map[string]record, []string, error) {
 	return out, order, nil
 }
 
+// minOverRuns folds several runs into the least-noisy observation per
+// op: the minimum ns_per_op (row counts ride along with the winning
+// run; they are identical across honest runs and the comparison flags
+// any drift).
+func minOverRuns(runs []map[string]record) map[string]record {
+	cur := map[string]record{}
+	for _, run := range runs {
+		for op, rec := range run {
+			if old, ok := cur[op]; !ok || rec.NsPerOp < old.NsPerOp {
+				cur[op] = rec
+			}
+		}
+	}
+	return cur
+}
+
+// compare applies the gate to every baseline op in order: row drift
+// always fails, ops under the noise floor are informational no matter
+// how slow, anything else fails past maxRatio. Returns the rendered
+// table lines and whether the gate tripped.
+func compare(base map[string]record, order []string, cur map[string]record, maxRatio float64, minNs int64) (lines []string, failed bool) {
+	lines = append(lines, fmt.Sprintf("%-30s %12s %12s %7s %s", "op", "baseline", "current", "ratio", "verdict"))
+	for _, op := range order {
+		b := base[op]
+		c, ok := cur[op]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%-30s %12s %12s %7s %s", op, fmtNs(b.NsPerOp), "-", "-", "MISSING from runs"))
+			failed = true
+			continue
+		}
+		ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
+		verdict := "ok"
+		switch {
+		case c.Rows != b.Rows:
+			verdict = fmt.Sprintf("FAIL: rows %d != baseline %d", c.Rows, b.Rows)
+			failed = true
+		case b.NsPerOp < minNs:
+			verdict = "info (below -min-ns)"
+		case ratio > maxRatio:
+			verdict = fmt.Sprintf("FAIL: > %.1fx", maxRatio)
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("%-30s %12s %12s %6.2fx %s", op, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), ratio, verdict))
+	}
+	return lines, failed
+}
+
 func main() {
 	var (
 		baseline = flag.String("baseline", "BENCH_PR4.json", "baseline report to compare against")
@@ -73,44 +120,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	// cur[op] = min over the runs — the least-noisy observation.
-	cur := map[string]record{}
+	var runs []map[string]record
 	for _, path := range flag.Args() {
 		run, _, err := load(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
 		}
-		for op, rec := range run {
-			if old, ok := cur[op]; !ok || rec.NsPerOp < old.NsPerOp {
-				cur[op] = rec
-			}
-		}
+		runs = append(runs, run)
 	}
-
-	failed := false
-	fmt.Printf("%-30s %12s %12s %7s %s\n", "op", "baseline", "current", "ratio", "verdict")
-	for _, op := range order {
-		b := base[op]
-		c, ok := cur[op]
-		if !ok {
-			fmt.Printf("%-30s %12s %12s %7s %s\n", op, fmtNs(b.NsPerOp), "-", "-", "MISSING from runs")
-			failed = true
-			continue
-		}
-		ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
-		verdict := "ok"
-		switch {
-		case c.Rows != b.Rows:
-			verdict = fmt.Sprintf("FAIL: rows %d != baseline %d", c.Rows, b.Rows)
-			failed = true
-		case b.NsPerOp < *minNs:
-			verdict = "info (below -min-ns)"
-		case ratio > *maxRatio:
-			verdict = fmt.Sprintf("FAIL: > %.1fx", *maxRatio)
-			failed = true
-		}
-		fmt.Printf("%-30s %12s %12s %6.2fx %s\n", op, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), ratio, verdict)
+	lines, failed := compare(base, order, minOverRuns(runs), *maxRatio, *minNs)
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchdiff: regression detected")

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(op string, rows int, ns int64) record {
+	return record{Op: op, Rows: rows, NsPerOp: ns}
+}
+
+func asMap(recs ...record) map[string]record {
+	m := make(map[string]record, len(recs))
+	for _, r := range recs {
+		m[r.Op] = r
+	}
+	return m
+}
+
+func ops(recs ...record) []string {
+	var out []string
+	for _, r := range recs {
+		out = append(out, r.Op)
+	}
+	return out
+}
+
+func TestMinOfTwoFiltersSchedulerNoise(t *testing.T) {
+	// Run 1 caught a scheduler hiccup (10x); run 2 is honest (1.1x).
+	// The min over runs must rescue the op from a false regression.
+	base := asMap(rec("join", 100, 100_000_000))
+	run1 := asMap(rec("join", 100, 1_000_000_000))
+	run2 := asMap(rec("join", 100, 110_000_000))
+	cur := minOverRuns([]map[string]record{run1, run2})
+	if cur["join"].NsPerOp != 110_000_000 {
+		t.Fatalf("min-of-two kept %d, want the faster run", cur["join"].NsPerOp)
+	}
+	_, failed := compare(base, []string{"join"}, cur, 2.5, 5_000_000)
+	if failed {
+		t.Error("min-of-two should have filtered the noisy run")
+	}
+	// A single noisy run, by contrast, trips the gate.
+	_, failed = compare(base, []string{"join"}, minOverRuns([]map[string]record{run1}), 2.5, 5_000_000)
+	if !failed {
+		t.Error("10x on the only run must fail")
+	}
+}
+
+func TestNoiseFloorIsInformationalOnly(t *testing.T) {
+	// Baseline 1ms < the 5ms floor: even a 100x blowup must not fail —
+	// micro-ops jitter too much on shared runners to gate on.
+	base := asMap(rec("tiny", 10, 1_000_000))
+	cur := asMap(rec("tiny", 10, 100_000_000))
+	lines, failed := compare(base, ops(rec("tiny", 0, 0)), cur, 2.5, 5_000_000)
+	if failed {
+		t.Error("op below the noise floor must never fail on time")
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "below -min-ns") {
+		t.Error("noise-floor verdict missing from output")
+	}
+	// Exactly at the floor the gate applies again (< is the contract).
+	base = asMap(rec("at-floor", 10, 5_000_000))
+	cur = asMap(rec("at-floor", 10, 100_000_000))
+	if _, failed := compare(base, []string{"at-floor"}, cur, 2.5, 5_000_000); !failed {
+		t.Error("op at the floor with a 20x regression must fail")
+	}
+}
+
+func TestRowDriftFailsEvenUnderNoiseFloor(t *testing.T) {
+	// A perf gate that lets results drift is worse than none: row
+	// mismatches fail regardless of timing noise.
+	base := asMap(rec("tiny", 10, 1_000_000))
+	cur := asMap(rec("tiny", 11, 900_000))
+	if _, failed := compare(base, []string{"tiny"}, cur, 2.5, 5_000_000); !failed {
+		t.Error("row drift under the noise floor must still fail")
+	}
+}
+
+func TestMissingOpFails(t *testing.T) {
+	base := asMap(rec("join", 100, 100_000_000), rec("scan", 50, 80_000_000))
+	cur := asMap(rec("join", 100, 100_000_000))
+	lines, failed := compare(base, []string{"join", "scan"}, cur, 2.5, 5_000_000)
+	if !failed {
+		t.Error("op missing from every run must fail")
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "MISSING") {
+		t.Error("missing-op verdict absent from output")
+	}
+}
+
+func TestExtraOpsInRunsAreIgnored(t *testing.T) {
+	// New ops with no baseline yet (a PR adding benchmarks) must not
+	// fail the gate — only baseline ops are compared.
+	base := asMap(rec("join", 100, 100_000_000))
+	cur := asMap(rec("join", 100, 100_000_000), rec("brand-new", 7, 1))
+	if _, failed := compare(base, []string{"join"}, cur, 2.5, 5_000_000); failed {
+		t.Error("extra run-only ops must not trip the gate")
+	}
+}
+
+func TestLoadFixtureRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	fixture := `{"results":[
+		{"op":"a","rows":1,"ns_per_op":10},
+		{"op":"b","rows":2,"ns_per_op":20},
+		{"op":"a","rows":9,"ns_per_op":99}
+	]}`
+	if err := os.WriteFile(path, []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, order, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate op names keep the last record but only one order slot.
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+	if m["a"].Rows != 9 {
+		t.Errorf("duplicate op should keep the last record, got %+v", m["a"])
+	}
+	if _, _, err := load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, _, err := load(bad); err == nil {
+		t.Error("malformed JSON must error")
+	}
+}

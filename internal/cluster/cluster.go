@@ -44,6 +44,14 @@ type CostModel struct {
 	// Like IntermediateShuffleFactor it prices a single pipelined network
 	// hop, not the disk-based CSJ repartitioning of eq. 1.
 	ExchangeRowFactor float64
+	// SpillRowFactor is the per-row cost of a hash-join row demoted to a
+	// disk run file under memory pressure: one sequential write plus the
+	// second-pass read-back, both amortized over large frames. The
+	// planner's shuffle estimates include this term when the executor
+	// carries a memory budget, so a budget-starved shuffle build makes
+	// the (never-spilling, group-bounded) hyper-join comparatively
+	// cheaper — exactly the trade §4.1's grouping exists to win.
+	SpillRowFactor float64
 }
 
 // Default returns the model used across the experiments: 10 nodes,
@@ -57,6 +65,7 @@ func Default() CostModel {
 		RepartWriteFactor:         2.0,
 		IntermediateShuffleFactor: 1.0,
 		ExchangeRowFactor:         1.0,
+		SpillRowFactor:            2.0,
 	}
 }
 
@@ -95,6 +104,12 @@ type Counters struct {
 	ExchLocalRows, ExchRemoteRows float64
 	// ExchBytes approximates the wire bytes of the remote exchange rows.
 	ExchBytes float64
+	// SpillRows / SpillBytes are hash-join rows (and their run-file
+	// bytes) demoted to disk under memory pressure — each such row is
+	// written once and read back in the second probe pass, which
+	// SpillRowFactor prices as a pair.
+	SpillRows  float64
+	SpillBytes float64
 
 	// Bookkeeping for experiment reporting.
 	BlocksScanned int // distinct block read events (scan+build)
@@ -170,6 +185,17 @@ func (m *Meter) AddExchange(rows, bytes int, remote bool) {
 	}
 }
 
+// AddSpill meters hash-join rows written to disk run files under
+// memory pressure, with their encoded bytes. The read-back of the
+// second pass is not metered separately — SpillRowFactor prices the
+// write/read pair per spilled row.
+func (m *Meter) AddSpill(rows, bytes int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.c.SpillRows += float64(rows)
+	m.c.SpillBytes += float64(bytes)
+}
+
 // AddRepartWrite meters rows written to new partitions.
 func (m *Meter) AddRepartWrite(rows int) {
 	m.mu.Lock()
@@ -216,6 +242,8 @@ func (m *Meter) Merge(o Counters) {
 	m.c.ExchLocalRows += o.ExchLocalRows
 	m.c.ExchRemoteRows += o.ExchRemoteRows
 	m.c.ExchBytes += o.ExchBytes
+	m.c.SpillRows += o.SpillRows
+	m.c.SpillBytes += o.SpillBytes
 	m.c.BlocksScanned += o.BlocksScanned
 	m.c.ProbeBlocks += o.ProbeBlocks
 	m.c.ResultRows += o.ResultRows
@@ -239,6 +267,7 @@ func (c Counters) CostUnits(m CostModel) float64 {
 	u += c.IntermediateRows * m.IntermediateShuffleFactor
 	u += c.RepartRows * m.RepartWriteFactor
 	u += c.ExchRemoteRows * m.ExchangeRowFactor
+	u += c.SpillRows * m.SpillRowFactor
 	return u
 }
 
@@ -254,10 +283,10 @@ func (c Counters) SimSeconds(m CostModel) float64 {
 
 // String renders a compact counters summary.
 func (c Counters) String() string {
-	return fmt.Sprintf("scan=%.0f(+%.0fr) shuffle=%.0f build=%.0f(+%.0fr) probe=%.0f(+%.0fr) repart=%.0f exch=%.0f(+%.0fr) blocks=%d probes=%d rows=%d",
+	return fmt.Sprintf("scan=%.0f(+%.0fr) shuffle=%.0f build=%.0f(+%.0fr) probe=%.0f(+%.0fr) repart=%.0f exch=%.0f(+%.0fr) spill=%.0f blocks=%d probes=%d rows=%d",
 		c.ScanLocal, c.ScanRemote, c.ShuffleRows, c.BuildLocal, c.BuildRemote,
 		c.ProbeLocal, c.ProbeRemote, c.RepartRows, c.ExchLocalRows, c.ExchRemoteRows,
-		c.BlocksScanned, c.ProbeBlocks, c.ResultRows)
+		c.SpillRows, c.BlocksScanned, c.ProbeBlocks, c.ResultRows)
 }
 
 // ExchRows returns the total rows that crossed exchanges, local and

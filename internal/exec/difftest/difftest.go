@@ -1,0 +1,326 @@
+// Package difftest is the oracle/fuzz differential harness for the
+// join engine: every case generates a random pair of relations —
+// random schemas, a key distribution drawn from the nasty end of the
+// spectrum (NULL-heavy, heavily skewed, all-duplicate, non-finite
+// floats), and a memory budget that may starve the build side — and
+// asserts that every production join path produces exactly the
+// NestedLoopJoin oracle's multiset:
+//
+//   - the single-threaded HashJoinRows,
+//   - the parallel radix JoinOp, both build orientations, budgeted and
+//     not (the budgeted runs exercise the spilling hybrid hash join of
+//     exec/spill.go, including recursive re-partitioning and the
+//     chunked all-duplicate fallback),
+//   - the full planner-compiled distributed path at 1/4/8 node
+//     executors, with exchanges, per-node budget shares, and whatever
+//     join strategy the cost model picks.
+//
+// A case is a pure function of its seed, so every failure is
+// replayable: report the seed, rerun Generate(seed).
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/core"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/exec"
+	"adaptdb/internal/planner"
+	"adaptdb/internal/schema"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+// Dists enumerates the key distributions cases draw from.
+var Dists = []string{"uniform", "skewed", "dup", "nullheavy", "sparse", "weird"}
+
+// Case is one generated differential scenario.
+type Case struct {
+	Seed        int64
+	Dist        string
+	Left, Right []tuple.Tuple
+	LSch, RSch  *schema.Schema
+	LCol, RCol  int
+	// Budget is the executor memory budget in bytes (0 = unlimited).
+	Budget int64
+	// CoPart loads the distributed tables with a join tree on the key
+	// (the hyper-join-eligible layout) instead of random partitioning.
+	CoPart bool
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("seed=%d dist=%s |L|=%d |R|=%d budget=%d copart=%v",
+		c.Seed, c.Dist, len(c.Left), len(c.Right), c.Budget, c.CoPart)
+}
+
+// kindName renders values for schema column kinds.
+var kinds = []value.Kind{value.Int, value.Float, value.String, value.Date, value.Bool}
+
+// Generate builds the case for a seed — deterministic, so failures
+// replay from the reported seed alone.
+func Generate(seed int64) Case {
+	rng := rand.New(rand.NewSource(seed))
+	c := Case{Seed: seed, Dist: Dists[rng.Intn(len(Dists))]}
+	keyKind := kinds[rng.Intn(4)] // Int, Float, String, Date
+	if c.Dist == "weird" {
+		keyKind = value.Float // non-finite floats need a float key
+	}
+	c.LSch, c.LCol = genSchema(rng, "l", keyKind)
+	c.RSch, c.RCol = genSchema(rng, "r", keyKind)
+	nL := genCount(rng)
+	nR := genCount(rng)
+	keyRange := int64(1 + (nL+nR)/3) // dense enough that joins hit
+	c.Left = genRows(rng, c.LSch, c.LCol, nL, c.Dist, keyKind, keyRange)
+	c.Right = genRows(rng, c.RSch, c.RCol, nR, c.Dist, keyKind, keyRange)
+	switch rng.Intn(3) {
+	case 0: // unlimited
+	case 1:
+		c.Budget = int64(512 + rng.Intn(4096)) // starved: everything spills
+	case 2:
+		if b := rowsMemBytes(c.Left) / int64(2+rng.Intn(7)); b > 0 {
+			c.Budget = b // a fraction of the build side
+		}
+	}
+	c.CoPart = rng.Intn(2) == 0
+	return c
+}
+
+// genCount skews small but includes empty and mid-size relations.
+func genCount(rng *rand.Rand) int {
+	switch rng.Intn(10) {
+	case 0:
+		return 0
+	case 1, 2:
+		return rng.Intn(8)
+	default:
+		return 16 + rng.Intn(500)
+	}
+}
+
+// genSchema builds a 1–4 column schema whose key column (returned
+// index) has the given kind.
+func genSchema(rng *rand.Rand, prefix string, keyKind value.Kind) (*schema.Schema, int) {
+	n := 1 + rng.Intn(4)
+	keyCol := rng.Intn(n)
+	cols := make([]schema.Column, n)
+	for i := range cols {
+		k := kinds[rng.Intn(len(kinds))]
+		if i == keyCol {
+			k = keyKind
+		}
+		cols[i] = schema.Column{Name: fmt.Sprintf("%s%d", prefix, i), Kind: k}
+	}
+	return schema.MustNew(cols...), keyCol
+}
+
+// genRows materializes n rows whose key column follows the
+// distribution; non-key columns are uniform junk of their kind.
+func genRows(rng *rand.Rand, sch *schema.Schema, keyCol, n int, dist string, keyKind value.Kind, keyRange int64) []tuple.Tuple {
+	rows := make([]tuple.Tuple, n)
+	for i := range rows {
+		r := make(tuple.Tuple, sch.NumCols())
+		for c := range r {
+			if c == keyCol {
+				r[c] = genKey(rng, dist, keyKind, keyRange)
+			} else {
+				r[c] = genValue(rng, sch.Kind(c))
+			}
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+func genKey(rng *rand.Rand, dist string, kind value.Kind, keyRange int64) value.Value {
+	var k int64
+	switch dist {
+	case "uniform":
+		k = rng.Int63n(keyRange)
+	case "skewed":
+		// Cubing the uniform variate piles most keys onto a few hot
+		// values — the radix partitions skew hard, so budgeted runs
+		// demote the hot partition and recurse.
+		f := rng.Float64()
+		k = int64(f * f * f * float64(keyRange))
+	case "dup":
+		k = 7 // every key identical: the chunked-fallback distribution
+	case "nullheavy":
+		if rng.Float64() < 0.6 {
+			return value.Value{} // NULL: must never match anything
+		}
+		k = rng.Int63n(keyRange)
+	case "sparse":
+		k = rng.Int63() // almost no matches
+	case "weird":
+		switch rng.Intn(6) {
+		case 0:
+			return value.NewFloat(math.NaN()) // NaN == NaN under Compare
+		case 1:
+			return value.NewFloat(math.Inf(1))
+		case 2:
+			return value.NewFloat(math.Inf(-1))
+		case 3:
+			return value.NewFloat(math.Copysign(0, -1)) // -0.0 == +0.0
+		case 4:
+			return value.NewFloat(0)
+		default:
+			return value.NewFloat(float64(rng.Int63n(keyRange)))
+		}
+	}
+	switch kind {
+	case value.Int:
+		return value.NewInt(k)
+	case value.Float:
+		return value.NewFloat(float64(k) / 2)
+	case value.String:
+		return value.NewString("k" + strconv.FormatInt(k, 10))
+	case value.Date:
+		return value.NewDate(k)
+	default:
+		return value.NewInt(k)
+	}
+}
+
+func genValue(rng *rand.Rand, kind value.Kind) value.Value {
+	if rng.Intn(12) == 0 {
+		return value.Value{} // sprinkle NULLs through payload columns too
+	}
+	switch kind {
+	case value.Int:
+		return value.NewInt(rng.Int63n(10000))
+	case value.Float:
+		return value.NewFloat(rng.NormFloat64() * 100)
+	case value.String:
+		return value.NewString(randString(rng))
+	case value.Date:
+		return value.NewDate(rng.Int63n(40000))
+	case value.Bool:
+		return value.NewBool(rng.Intn(2) == 0)
+	default:
+		return value.Value{}
+	}
+}
+
+func randString(rng *rand.Rand) string {
+	n := rng.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func rowsMemBytes(rows []tuple.Tuple) int64 {
+	n := int64(0)
+	for _, r := range rows {
+		n += int64(r.MemBytes())
+	}
+	return n
+}
+
+// diffRows compares two row multisets, returning a descriptive error on
+// the first divergence.
+func diffRows(label string, got, want []tuple.Tuple) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: %d rows, oracle %d", label, len(got), len(want))
+	}
+	exec.SortRows(got)
+	exec.SortRows(want)
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return fmt.Errorf("%s: row %d arity %d, oracle %d", label, i, len(got[i]), len(want[i]))
+		}
+		for c := range got[i] {
+			if value.Compare(got[i][c], want[i][c]) != 0 {
+				return fmt.Errorf("%s: row %d col %d = %v, oracle %v", label, i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+	return nil
+}
+
+// RunCentralized checks every centralized join path of a case against
+// the oracle: HashJoinRows, then JoinOp in both build orientations
+// under the case's budget (nil budget = the untouched fast path;
+// non-nil exercises the spilling hybrid hash join).
+func RunCentralized(c Case) error {
+	oracle := exec.NestedLoopJoin(c.Left, c.Right, c.LCol, c.RCol)
+
+	if err := diffRows("HashJoinRows", exec.HashJoinRows(c.Left, c.Right, c.LCol, c.RCol), oracle); err != nil {
+		return fmt.Errorf("%s: %w", c, err)
+	}
+
+	for _, orient := range []string{"build-left", "build-right"} {
+		store := dfs.NewStore(2, 1, c.Seed)
+		ex := exec.New(store, &cluster.Meter{})
+		ex.Mem = exec.NewMemBudget(c.Budget)
+		var op exec.Operator
+		if orient == "build-left" {
+			op = ex.JoinOp(exec.NewSource(c.Left), c.LCol, exec.NewSource(c.Right), c.RCol, exec.JoinOptions{})
+		} else {
+			op = ex.JoinOp(exec.NewSource(c.Right), c.RCol, exec.NewSource(c.Left), c.LCol, exec.JoinOptions{BuildIsRight: true})
+		}
+		got, err := exec.Collect(op)
+		if err != nil {
+			return fmt.Errorf("%s: JoinOp[%s]: %w", c, orient, err)
+		}
+		if err := diffRows("JoinOp["+orient+"]", got, oracle); err != nil {
+			return fmt.Errorf("%s: %w", c, err)
+		}
+		if used := ex.Mem.Used(); used != 0 {
+			return fmt.Errorf("%s: JoinOp[%s] leaked %d budget bytes", c, orient, used)
+		}
+	}
+	return nil
+}
+
+// RunDistributed loads the case's relations as tables over an
+// nodes-wide store and runs the full planner-compiled distributed DAG —
+// per-node scans, exchanges, per-node budget shares, and whichever join
+// strategy the cost model picks — against the oracle.
+func RunDistributed(c Case, nodes int) error {
+	oracle := exec.NestedLoopJoin(c.Left, c.Right, c.LCol, c.RCol)
+	store := dfs.NewStore(nodes, 2, c.Seed)
+	joinAttr := -1
+	if c.CoPart {
+		joinAttr = c.LCol
+	}
+	lt, err := core.Load(store, "dleft", c.LSch, c.Left, core.LoadOptions{
+		RowsPerBlock: 64, Seed: c.Seed, JoinAttr: joinAttr,
+	})
+	if err != nil {
+		return fmt.Errorf("%s: load left: %w", c, err)
+	}
+	rJoinAttr := -1
+	if c.CoPart {
+		rJoinAttr = c.RCol
+	}
+	rt, err := core.Load(store, "dright", c.RSch, c.Right, core.LoadOptions{
+		RowsPerBlock: 64, Seed: c.Seed + 1, JoinAttr: rJoinAttr,
+	})
+	if err != nil {
+		return fmt.Errorf("%s: load right: %w", c, err)
+	}
+	ex := exec.New(store, &cluster.Meter{})
+	ex.Mem = exec.NewMemBudget(c.Budget)
+	ex.EnableNodes(1)
+	runner := planner.NewRunner(ex, cluster.Default())
+	plan := &planner.Join{
+		Left:  &planner.Scan{Table: lt},
+		Right: &planner.Scan{Table: rt},
+		LCol:  c.LCol, RCol: c.RCol,
+	}
+	got, _, err := runner.Run(plan)
+	if err != nil {
+		return fmt.Errorf("%s: nodes=%d: %w", c, nodes, err)
+	}
+	if err := diffRows(fmt.Sprintf("distributed[nodes=%d]", nodes), got, oracle); err != nil {
+		return fmt.Errorf("%s: %w", c, err)
+	}
+	ex.Nodes().Flush()
+	return nil
+}

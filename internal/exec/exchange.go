@@ -106,10 +106,21 @@ func (x *Exchange) build() {
 		x.outs = append(x.outs, &exchOut{
 			x:      x,
 			node:   i,
+			mem:    x.ns.execs[i].Mem,
 			ch:     make(chan *Batch, 4),
 			closed: make(chan struct{}),
 		})
 	}
+}
+
+// batchMemBytes is the budget charge for a batch parked in an exchange
+// channel. Only computed when the destination node carries a MemBudget.
+func batchMemBytes(b *Batch) int64 {
+	n := int64(0)
+	for _, r := range b.rows {
+		n += int64(r.MemBytes())
+	}
+	return n
 }
 
 // Output returns the operator node i's fragment consumes: the stream of
@@ -240,9 +251,16 @@ func (x *Exchange) send(d int, b *Batch, src int, meter meterSink) {
 	}
 	meter.AddExchange(b.Len(), bytes, remote)
 	o := x.outs[d]
+	if o.mem != nil {
+		// In-flight exchange batches charge the destination node's
+		// budget (advisory — the bounded channels are the backpressure);
+		// the consumer releases the charge as it takes delivery.
+		o.mem.Charge(batchMemBytes(b))
+	}
 	select {
 	case o.ch <- b:
 	case <-o.closed:
+		o.releaseMem(b)
 		b.Release() // consumer gone; its share of the stream is dropped
 	}
 }
@@ -279,9 +297,18 @@ func rowWireBytes(r tuple.Tuple) int {
 type exchOut struct {
 	x      *Exchange
 	node   int
+	mem    *MemBudget // destination node's budget, nil when unlimited
 	ch     chan *Batch
 	closed chan struct{}
 	once   sync.Once
+}
+
+// releaseMem returns a delivered (or dropped) batch's charge to the
+// destination node's budget.
+func (o *exchOut) releaseMem(b *Batch) {
+	if o.mem != nil {
+		o.mem.Release(batchMemBytes(b))
+	}
 }
 
 func (o *exchOut) Open() error {
@@ -296,6 +323,7 @@ func (o *exchOut) Next() (*Batch, error) {
 		// error (if any) is published by now.
 		return nil, o.x.firstErr()
 	}
+	o.releaseMem(b)
 	return b, nil
 }
 
@@ -313,6 +341,7 @@ func (o *exchOut) Close() error {
 			for {
 				select {
 				case b := <-o.ch:
+					o.releaseMem(b)
 					b.Release()
 				default:
 					return
@@ -323,6 +352,7 @@ func (o *exchOut) Close() error {
 		// channel closes once every producer exits (all outputs are
 		// eventually drained or closed during teardown).
 		for b := range o.ch {
+			o.releaseMem(b)
 			b.Release()
 		}
 	})

@@ -30,6 +30,16 @@ type Executor struct {
 	// block and filter row by row. The "Full Scan" baseline of §7.3 runs
 	// this way.
 	NoPrune bool
+	// Mem is the executor's operator memory budget; nil means unlimited.
+	// Hash joins charge their build side against it and demote
+	// partitions to disk run files under pressure (the hybrid hash join
+	// of spill.go); exchanges charge their in-flight batches. EnableNodes
+	// splits it into equal per-node shares.
+	Mem *MemBudget
+	// SpillDir is where budget-pressured joins place their run-file temp
+	// directories ("" = the OS temp dir). Each join creates and removes
+	// its own subdirectory.
+	SpillDir string
 
 	// pin, when pinned, forces every task of this executor to run at one
 	// node — the per-node executor views a NodeSet hands out. Reads of
@@ -45,6 +55,10 @@ type Executor struct {
 func New(store *dfs.Store, meter *cluster.Meter) *Executor {
 	return &Executor{Store: store, Meter: meter}
 }
+
+// MemLimit reports the executor's memory budget in bytes, 0 when
+// unlimited — the number the planner's spill cost term reads.
+func (e *Executor) MemLimit() int64 { return e.Mem.Limit() }
 
 func (e *Executor) workers() int {
 	if e.Workers > 0 {

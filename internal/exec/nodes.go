@@ -45,15 +45,21 @@ func (e *Executor) EnableNodes(workersPerNode int) *NodeSet {
 		workersPerNode = 1
 	}
 	shards, flush := cluster.NewShards(n)
+	// Each node executor gets an equal share of the parent's memory
+	// budget — the paper's per-node grouping budget generalized to every
+	// operator. A nil parent budget splits into nil (unlimited) shares.
+	mems := e.Mem.Split(n)
 	ns := &NodeSet{parent: e, shards: shards, flush: flush, perNode: workersPerNode}
 	for i := 0; i < n; i++ {
 		ns.execs = append(ns.execs, &Executor{
-			Store:   e.Store,
-			Meter:   shards[i],
-			Workers: workersPerNode,
-			NoPrune: e.NoPrune,
-			pin:     dfs.NodeID(i),
-			pinned:  true,
+			Store:    e.Store,
+			Meter:    shards[i],
+			Workers:  workersPerNode,
+			NoPrune:  e.NoPrune,
+			Mem:      mems[i],
+			SpillDir: e.SpillDir,
+			pin:      dfs.NodeID(i),
+			pinned:   true,
 		})
 	}
 	e.nodes = ns

@@ -24,6 +24,15 @@ type OpStats struct {
 	Batches int64
 	Rows    int64
 	WallNs  int64
+	// SpilledBytes is what the operator wrote to disk run files under
+	// memory pressure (hash joins under a MemBudget); 0 everywhere else.
+	SpilledBytes int64
+}
+
+// byteSpiller is implemented by operators that can demote state to disk
+// (the budgeted hash join); Instrument surfaces the count in OpStats.
+type byteSpiller interface {
+	SpilledBytes() int64
 }
 
 // Instrumented wraps an operator, counting batches/rows and timing
@@ -58,7 +67,11 @@ func (i *Instrumented) AtNode(node int) *Instrumented {
 func (i *Instrumented) Stats() OpStats {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	return i.stats
+	st := i.stats
+	if s, ok := i.child.(byteSpiller); ok {
+		st.SpilledBytes = s.SpilledBytes()
+	}
+	return st
 }
 
 // Open opens the child, charging setup time (a hash join drains its

@@ -535,6 +535,11 @@ type hashJoinOp struct {
 
 	parts     [joinPartitions]*joinTable
 	buildRows int
+	// spill is the hybrid-hash-join state, non-nil exactly when the
+	// executor carries a MemBudget; hasSpilled is frozen after the build
+	// phase so probe routing never races a demotion.
+	spill      *joinSpill
+	hasSpilled bool
 
 	in      chan *Batch // probe batches awaiting a worker
 	out     chan *Batch // output batches awaiting the consumer
@@ -543,7 +548,21 @@ type hashJoinOp struct {
 	once    sync.Once
 	results atomic.Int64
 	perr    error // probe-side error; published before in closes
+	werrMu  sync.Mutex
+	werr    error       // first worker/spill error; published before out closes
+	failed  atomic.Bool // workers stop doing real work once set
 	metered bool
+}
+
+// fail records the first worker or spill error; the stream surfaces it
+// from Next once the output channel closes.
+func (j *hashJoinOp) fail(err error) {
+	j.werrMu.Lock()
+	if j.werr == nil {
+		j.werr = err
+	}
+	j.werrMu.Unlock()
+	j.failed.Store(true)
 }
 
 func (j *hashJoinOp) workerCount() int {
@@ -555,13 +574,28 @@ func (j *hashJoinOp) workerCount() int {
 }
 
 func (j *hashJoinOp) Open() error {
+	if j.e.Mem != nil {
+		j.spill = newJoinSpill(j)
+	}
 	if err := j.build.Open(); err != nil {
 		return err
 	}
 	if err := j.buildTables(); err != nil {
+		// Callers need not Close after a failed Open (Collect doesn't);
+		// release spill state here. cleanup is idempotent, so callers
+		// that do Close anyway (Gather) stay safe.
+		if j.spill != nil {
+			j.spill.cleanup()
+		}
 		return err
 	}
+	if j.spill != nil {
+		j.hasSpilled = j.spill.anySpilled()
+	}
 	if err := j.probe.Open(); err != nil {
+		if j.spill != nil {
+			j.spill.cleanup()
+		}
 		return err
 	}
 	w := j.workerCount()
@@ -572,10 +606,16 @@ func (j *hashJoinOp) Open() error {
 	j.done = make(chan struct{})
 	for i := 0; i < w; i++ {
 		j.wg.Add(1)
-		go j.probeWorker()
+		go j.probeWorker(i)
 	}
 	go func() {
 		j.wg.Wait()
+		// Every probe worker has exited (their spilled probe runs are
+		// sealed), so the second pass can join the demoted partitions
+		// before the stream ends.
+		if j.hasSpilled && !j.failed.Load() {
+			j.secondPass()
+		}
 		close(j.out)
 	}()
 	go j.dispatchProbe()
@@ -585,6 +625,11 @@ func (j *hashJoinOp) Open() error {
 // buildTables drains the build input, partitioning rows by hash radix
 // across the worker pool (each worker owns one joinBuf per partition, so
 // no locks), then seals one joinTable per partition in parallel.
+//
+// Under a memory budget each retained row also charges the MemBudget;
+// on pressure the largest partition is demoted (joinSpill.pressure) and
+// its rows — resident and future — stream to run files instead, each
+// worker flushing its own share locklessly (spill.go).
 func (j *hashJoinOp) buildTables() error {
 	w := j.workerCount()
 	bufs := make([][]joinBuf, w)
@@ -593,15 +638,43 @@ func (j *hashJoinOp) buildTables() error {
 	for i := 0; i < w; i++ {
 		bufs[i] = make([]joinBuf, joinPartitions)
 		wg.Add(1)
-		go func(my []joinBuf) {
+		go func(id int, my []joinBuf) {
 			defer wg.Done()
 			var arena tuple.Arena
+			sp := j.spill
+			var spw *partSpiller
+			var myBytes [joinPartitions]int64
+			if sp != nil {
+				spw = sp.newPartSpiller(id, false)
+			}
 			for b := range in {
+				if j.failed.Load() {
+					b.Release()
+					continue // keep draining so the feeder never blocks
+				}
 				owned := b.OwnsRows()
 				for _, r := range b.Rows() {
 					key := r[j.bCol]
 					if key.IsNull() {
 						continue // NULL never equals NULL in a join
+					}
+					h := key.Hash64()
+					p := int(h >> joinRadixShift)
+					if sp != nil && sp.isSpilled(p) {
+						// Demoted partition: flush this worker's resident
+						// rows first (table and run file stay disjoint),
+						// then the new row goes straight to disk (copied
+						// when the batch owns it — those rows die at
+						// Release).
+						if err := spw.evict(p, &my[p], &myBytes[p]); err != nil {
+							j.fail(err)
+							break
+						}
+						if err := spw.write(p, r, owned); err != nil {
+							j.fail(err)
+							break
+						}
+						continue
 					}
 					if owned {
 						// The batch's rows die at Release (a join feeding
@@ -609,12 +682,34 @@ func (j *hashJoinOp) buildTables() error {
 						// retains.
 						r = arena.Concat(r, nil)
 					}
-					h := key.Hash64()
-					my[h>>joinRadixShift].add(h, r)
+					my[p].add(h, r)
+					if sp != nil {
+						n := int64(r.MemBytes())
+						myBytes[p] += n
+						sp.partBytes[p].Add(n)
+						if sp.charge(n) {
+							sp.pressure()
+						}
+					}
 				}
 				b.Release()
 			}
-		}(bufs[i])
+			if spw != nil {
+				// Final sweep: partitions demoted after this worker last
+				// touched them still hold resident rows here.
+				for p := range my {
+					if sp.isSpilled(p) {
+						if err := spw.evict(p, &my[p], &myBytes[p]); err != nil {
+							j.fail(err)
+							break
+						}
+					}
+				}
+				if err := spw.finish(); err != nil {
+					j.fail(err)
+				}
+			}
+		}(i, bufs[i])
 	}
 	// A single goroutine owns build.Next (operators need not be
 	// concurrency-safe); input charging happens in the ChargeRows
@@ -636,12 +731,27 @@ func (j *hashJoinOp) buildTables() error {
 	if cerr := j.build.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		j.werrMu.Lock()
+		err = j.werr
+		j.werrMu.Unlock()
+	}
 	if err != nil {
 		return err
 	}
+	if j.spill != nil {
+		// A partition demoted after some worker already finished leaves
+		// rows stranded in that worker's buffer; flush every demoted
+		// partition's leftovers now that the spilled set is frozen and
+		// no worker is running.
+		if err := j.spill.flushLeftovers(bufs); err != nil {
+			return err
+		}
+	}
 	// Seal tables: partitions are handed to workers via an atomic
 	// counter; each table merges the same partition's buffer from every
-	// build worker.
+	// build worker. Demoted partitions seal empty — their rows live in
+	// run files and join in the second pass.
 	var next atomic.Int64
 	var swg sync.WaitGroup
 	for i := 0; i < w; i++ {
@@ -653,6 +763,10 @@ func (j *hashJoinOp) buildTables() error {
 				p := int(next.Add(1) - 1)
 				if p >= joinPartitions {
 					return
+				}
+				if j.spill != nil && j.spill.isSpilled(p) {
+					j.parts[p] = newJoinTable(j.bCol)
+					continue
 				}
 				for wi := range bufs {
 					srcs[wi] = &bufs[wi][p]
@@ -698,21 +812,37 @@ func (j *hashJoinOp) dispatchProbe() {
 // through the batch pool). The worker owns cur exclusively until it
 // rotates a full batch into the shared out channel, so output batches
 // are never written by two goroutines.
-func (j *hashJoinOp) probeWorker() {
+func (j *hashJoinOp) probeWorker(id int) {
 	defer j.wg.Done()
 	var cur *Batch
+	var spw *partSpiller
+	if j.hasSpilled {
+		spw = j.spill.newPartSpiller(id, true)
+	}
 	for pb := range j.in {
-		if j.buildRows == 0 {
+		if (j.buildRows == 0 && spw == nil) || j.failed.Load() {
 			pb.Release() // metered by the dispatcher; nothing can match
 			continue
 		}
+		powned := pb.OwnsRows()
 		for _, p := range pb.Rows() {
 			key := p[j.pCol]
 			if key.IsNull() {
 				continue // NULL never equals NULL in a join
 			}
 			h := key.Hash64()
-			it := j.parts[h>>joinRadixShift].lookup(h, key)
+			part := int(h >> joinRadixShift)
+			if spw != nil && j.spill.isSpilled(part) {
+				// The partition's build rows are on disk; park the probe
+				// row beside them for the second pass (copied when the
+				// batch owns it).
+				if err := spw.write(part, p, powned); err != nil {
+					j.fail(err)
+					break
+				}
+				continue
+			}
+			it := j.parts[part].lookup(h, key)
 			for {
 				b, ok := it.next()
 				if !ok {
@@ -736,6 +866,11 @@ func (j *hashJoinOp) probeWorker() {
 			}
 		}
 		pb.Release()
+	}
+	if spw != nil {
+		if err := spw.finish(); err != nil {
+			j.fail(err)
+		}
 	}
 	if cur != nil {
 		if cur.Len() > 0 {
@@ -761,9 +896,16 @@ func (j *hashJoinOp) Next() (*Batch, error) {
 	b, ok := <-j.out
 	if !ok {
 		// out closes only after every worker exits, which happens after
-		// the dispatcher published any probe error and closed in.
+		// the dispatcher published any probe error and closed in, and
+		// after any worker/spill error landed in werr.
 		if j.perr != nil {
 			return nil, j.perr
+		}
+		j.werrMu.Lock()
+		werr := j.werr
+		j.werrMu.Unlock()
+		if werr != nil {
+			return nil, werr
 		}
 		if !j.metered {
 			j.metered = true
@@ -783,6 +925,12 @@ func (j *hashJoinOp) Close() error {
 			for b := range j.out {
 				b.Release()
 			}
+		}
+		if j.spill != nil {
+			// The out drain above only returns after the closer goroutine
+			// (and with it the second pass) has exited, so nothing is
+			// reading the run files any more.
+			j.spill.cleanup()
 		}
 	})
 	for i := range j.parts {

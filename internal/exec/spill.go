@@ -1,0 +1,836 @@
+// The spilling half of the hybrid hash join: run-file I/O, partition
+// demotion under memory pressure, and the second-pass probe.
+//
+// The in-memory radix join (pipeline.go) assumes every build-side
+// partition fits in RAM; one oversized build OOMs the whole session.
+// When the executor carries a MemBudget, the join becomes a classic
+// Grace/hybrid hash join instead: build rows charge the budget as they
+// accumulate, and on pressure the largest in-memory partition is
+// demoted to disk — its rows (and every later build or probe row that
+// hashes to it) stream into columnar run files under a temp dir, while
+// the surviving partitions keep the untouched in-memory fast path.
+// After the in-memory probe drains, a single-threaded second pass joins
+// each spilled partition from its run files: load-and-probe when the
+// partition fits the budget, recursive re-partitioning on the next
+// radix bit range when it does not, and a chunked build (multiple probe
+// passes) as the terminal fallback for partitions hash bits cannot
+// split — the all-duplicate-key case.
+package exec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"adaptdb/internal/tuple"
+)
+
+const (
+	// spillFrameRows is the row granularity of run-file frames: big
+	// enough that frame headers and write calls amortize, small enough
+	// that the writer's pending copies stay a rounding error against the
+	// budget.
+	spillFrameRows = 256
+	// spillSubBits is the radix width of one recursive re-partitioning
+	// level: each level splits a spilled partition 16 ways on the next
+	// 4 hash bits below the joinRadixBits the first pass consumed.
+	spillSubBits = 4
+	spillFanout  = 1 << spillSubBits
+	// maxSpillDepth bounds recursive re-partitioning. A partition still
+	// over budget after this many 16-way splits is dominated by
+	// duplicate keys no hash bits can separate; it falls back to the
+	// chunked build.
+	maxSpillDepth = 6
+)
+
+// errSpillClosed unwinds the second pass when the operator is closed
+// mid-stream; it is swallowed at the top (early close is not an error).
+var errSpillClosed = errors.New("exec: spill join closed")
+
+// runFile is one finished run file: its path and the row/byte totals
+// the second pass sizes loads with. memBytes is the in-memory footprint
+// of the rows (tuple.MemBytes), the number budget decisions use;
+// diskBytes is the encoded size, the number the spill meter charges.
+type runFile struct {
+	path      string
+	rows      int64
+	diskBytes int64
+	memBytes  int64
+}
+
+// runWriter streams rows into one run file, buffering spillFrameRows
+// copies and flushing them as a length-prefixed columnar frame
+// (tuple.AppendFrame). Rows are copied into the writer's arena at
+// append, so callers may hand over rows that die with their batch.
+type runWriter struct {
+	f     *os.File
+	path  string
+	pend  []tuple.Tuple
+	arena tuple.Arena
+	enc   []byte
+	file  runFile
+}
+
+func newRunWriter(path string) (*runWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &runWriter{f: f, path: path, file: runFile{path: path}}, nil
+}
+
+// append buffers one row for the next frame. copyRow must be true when
+// the row dies with its batch (owned rows); view rows referencing block
+// storage skip the arena copy — most of the spill stream on scan-fed
+// joins, which keeps the demotion path cheap.
+func (w *runWriter) append(r tuple.Tuple, copyRow bool) error {
+	if copyRow {
+		r = w.arena.Concat(r, nil)
+	}
+	w.pend = append(w.pend, r)
+	w.file.memBytes += int64(r.MemBytes())
+	if len(w.pend) >= spillFrameRows {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *runWriter) flush() error {
+	if len(w.pend) == 0 {
+		return nil
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	frame, err := tuple.AppendFrame(w.enc[:0], w.pend)
+	if err != nil {
+		return err
+	}
+	n := binary.PutUvarint(hdr[:], uint64(len(frame)))
+	if _, err := w.f.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	w.file.rows += int64(len(w.pend))
+	w.file.diskBytes += int64(n + len(frame))
+	w.enc = frame[:0]
+	w.pend = w.pend[:0]
+	return nil
+}
+
+// finish flushes the tail frame and closes the file, returning its
+// totals. The writer is dead afterwards.
+func (w *runWriter) finish() (runFile, error) {
+	ferr := w.flush()
+	cerr := w.f.Close()
+	if ferr != nil {
+		return w.file, ferr
+	}
+	return w.file, cerr
+}
+
+// eachRunFrame streams every frame of the given run files through fn in
+// file order. Frames decode into fresh storage, so fn may retain the
+// rows (the second pass builds tables from them).
+func eachRunFrame(files []runFile, fn func([]tuple.Tuple) error) error {
+	buf := make([]byte, 0, 1<<16)
+	for _, rf := range files {
+		f, err := os.Open(rf.path)
+		if err != nil {
+			return err
+		}
+		br := bufio.NewReaderSize(f, 1<<16)
+		for {
+			n, err := binary.ReadUvarint(br)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("exec: run %s: %w", rf.path, err)
+			}
+			if cap(buf) < int(n) {
+				buf = make([]byte, n)
+			}
+			buf = buf[:n]
+			if _, err := io.ReadFull(br, buf); err != nil {
+				f.Close()
+				return fmt.Errorf("exec: run %s: %w", rf.path, err)
+			}
+			rows, _, err := tuple.DecodeFrame(buf)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("exec: run %s: %w", rf.path, err)
+			}
+			if err := fn(rows); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sumRunBytes totals the in-memory footprint a set of run files would
+// load to.
+func sumRunBytes(files []runFile) int64 {
+	n := int64(0)
+	for _, f := range files {
+		n += f.memBytes
+	}
+	return n
+}
+
+func removeRuns(files []runFile) {
+	for _, f := range files {
+		os.Remove(f.path)
+	}
+}
+
+// joinSpill is the shared spill state of one budgeted hashJoinOp.
+type joinSpill struct {
+	j *hashJoinOp
+
+	dirOnce sync.Once
+	dirErr  error
+	dir     string
+
+	// spilled marks demoted partitions; set only during the build phase,
+	// frozen before the probe starts, so probe routing is consistent.
+	spilled [joinPartitions]atomic.Bool
+	// partBytes tracks the in-memory bytes each partition currently
+	// holds across all build workers — the victim-selection ranking and
+	// the "pending eviction" correction pressure() applies.
+	partBytes [joinPartitions]atomic.Int64
+
+	mu         sync.Mutex // victim selection + file registries
+	buildFiles [joinPartitions][]runFile
+	probeFiles [joinPartitions][]runFile
+
+	fileSeq      atomic.Int64
+	spilledRows  atomic.Int64
+	spilledBytes atomic.Int64
+	memHeld      atomic.Int64 // net budget bytes this join has charged
+
+	// sem gates concurrent second-pass loads: fit decisions use the full
+	// operator limit (so a partition that fits never re-partitions), and
+	// the semaphore keeps the SUM of simultaneous loads inside that
+	// limit — full parallelism for small partitions, graceful
+	// serialization when each load needs the whole budget.
+	sem *byteSem
+}
+
+// byteSem is a weighted semaphore over budget bytes. Requests larger
+// than the capacity clamp to it (they could never proceed otherwise),
+// so a single oversized load serializes instead of deadlocking.
+type byteSem struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	avail int64
+	cap   int64
+}
+
+func newByteSem(n int64) *byteSem {
+	if n < 1 {
+		n = 1
+	}
+	s := &byteSem{avail: n, cap: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *byteSem) acquire(n int64) int64 {
+	if n > s.cap {
+		n = s.cap
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	for s.avail < n {
+		s.cond.Wait()
+	}
+	s.avail -= n
+	s.mu.Unlock()
+	return n
+}
+
+func (s *byteSem) release(n int64) {
+	s.mu.Lock()
+	s.avail += n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func newJoinSpill(j *hashJoinOp) *joinSpill { return &joinSpill{j: j} }
+
+// tempDir lazily creates the join's spill directory — a join that never
+// exceeds its budget touches no filesystem at all.
+func (sp *joinSpill) tempDir() (string, error) {
+	sp.dirOnce.Do(func() {
+		sp.dir, sp.dirErr = os.MkdirTemp(sp.j.e.SpillDir, "adaptdb-join-*")
+	})
+	return sp.dir, sp.dirErr
+}
+
+func (sp *joinSpill) isSpilled(p int) bool { return sp.spilled[p].Load() }
+
+func (sp *joinSpill) anySpilled() bool {
+	for p := range sp.spilled {
+		if sp.spilled[p].Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// charge/release wrap the executor budget, tracking the join's net hold
+// so Close can return whatever an error path left charged.
+func (sp *joinSpill) charge(n int64) bool {
+	sp.memHeld.Add(n)
+	return sp.j.e.Mem.Charge(n)
+}
+
+func (sp *joinSpill) release(n int64) {
+	sp.memHeld.Add(-n)
+	sp.j.e.Mem.Release(n)
+}
+
+// pressure demotes in-memory partitions, largest first, until the
+// budget would fit once pending evictions land. Demotion is a flag
+// flip: the bytes come back as each build worker flushes its share of
+// the victim to disk (evict), so the accounting subtracts every
+// already-demoted partition's still-resident bytes before deciding
+// whether another victim is needed.
+func (sp *joinSpill) pressure() {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	mem := sp.j.e.Mem
+	pending := int64(0)
+	for p := range sp.spilled {
+		if sp.spilled[p].Load() {
+			pending += sp.partBytes[p].Load()
+		}
+	}
+	for mem.Used()-pending > mem.Limit() {
+		best, bestBytes := -1, int64(0)
+		for p := range sp.spilled {
+			if !sp.spilled[p].Load() {
+				if n := sp.partBytes[p].Load(); n > bestBytes {
+					best, bestBytes = p, n
+				}
+			}
+		}
+		if best < 0 {
+			return // everything is spilled (or empty); nothing left to demote
+		}
+		sp.spilled[best].Store(true)
+		pending += bestBytes
+	}
+}
+
+// noteRun registers a finished run file on one side's registry and
+// meters the spill I/O.
+func (sp *joinSpill) noteRun(p int, probe bool, rf runFile) {
+	if rf.rows == 0 {
+		os.Remove(rf.path)
+		return
+	}
+	sp.mu.Lock()
+	if probe {
+		sp.probeFiles[p] = append(sp.probeFiles[p], rf)
+	} else {
+		sp.buildFiles[p] = append(sp.buildFiles[p], rf)
+	}
+	sp.mu.Unlock()
+	sp.spilledRows.Add(rf.rows)
+	sp.spilledBytes.Add(rf.diskBytes)
+	sp.j.e.Meter.AddSpill(int(rf.rows), int(rf.diskBytes))
+}
+
+// takeFiles hands a partition's run files to the second pass, clearing
+// the registries.
+func (sp *joinSpill) takeFiles(p int) (build, probe []runFile) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	build, probe = sp.buildFiles[p], sp.probeFiles[p]
+	sp.buildFiles[p], sp.probeFiles[p] = nil, nil
+	return build, probe
+}
+
+// cleanup removes the spill directory and returns any budget bytes an
+// early close or error path left charged. Called exactly once, from the
+// operator's Close, after every goroutine that touches the files has
+// exited.
+func (sp *joinSpill) cleanup() {
+	if held := sp.memHeld.Swap(0); held != 0 {
+		sp.j.e.Mem.Release(held)
+	}
+	if sp.dir != "" {
+		os.RemoveAll(sp.dir)
+	}
+}
+
+// partSpiller owns one worker's lazy per-partition run writers for one
+// side of the join. Not safe for concurrent use — each build/probe
+// worker has its own.
+type partSpiller struct {
+	sp    *joinSpill
+	side  string // "b" or "p"
+	id    int    // worker id, part of the file name
+	probe bool
+	wr    [joinPartitions]*runWriter
+}
+
+func (sp *joinSpill) newPartSpiller(id int, probe bool) *partSpiller {
+	side := "b"
+	if probe {
+		side = "p"
+	}
+	return &partSpiller{sp: sp, side: side, id: id, probe: probe}
+}
+
+func (s *partSpiller) write(p int, r tuple.Tuple, copyRow bool) error {
+	w := s.wr[p]
+	if w == nil {
+		dir, err := s.sp.tempDir()
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s-p%02d-w%02d-%d.run", s.side, p, s.id, s.sp.fileSeq.Add(1))
+		w, err = newRunWriter(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		s.wr[p] = w
+	}
+	return w.append(r, copyRow)
+}
+
+// finish seals every open writer, registering its run file.
+func (s *partSpiller) finish() error {
+	var first error
+	for p, w := range s.wr {
+		if w == nil {
+			continue
+		}
+		rf, err := w.finish()
+		if err != nil && first == nil {
+			first = err
+		}
+		s.wr[p] = nil
+		if err == nil {
+			s.sp.noteRun(p, s.probe, rf)
+		}
+	}
+	return first
+}
+
+// evict flushes one build worker's in-memory rows for a freshly demoted
+// partition into its run file and returns their bytes to the budget.
+// bytes is the worker's per-partition byte ledger.
+func (s *partSpiller) evict(p int, buf *joinBuf, bytes *int64) error {
+	if buf.n == 0 && *bytes == 0 {
+		return nil
+	}
+	for _, c := range buf.chunks {
+		for i := range c {
+			// Buffered build rows are stable by construction (view rows
+			// or the worker's arena copies) — no re-copy on eviction.
+			if err := s.write(p, c[i].row, false); err != nil {
+				return err
+			}
+		}
+	}
+	*buf = joinBuf{}
+	s.sp.partBytes[p].Add(-*bytes)
+	s.sp.release(*bytes)
+	*bytes = 0
+	return nil
+}
+
+// flushLeftovers writes every build worker's still-resident rows of
+// demoted partitions to one final run file per partition. A partition
+// can be demoted AFTER a worker has already drained its input and run
+// its final sweep (another worker's charge triggered the demotion), so
+// per-worker eviction alone can strand rows in a buffer the seal phase
+// would then drop — the exact row-loss the -spill bench self-gate
+// caught. Leftovers are only complete once every worker has exited;
+// this runs between the build drain and table sealing, with the
+// spilled set frozen.
+func (sp *joinSpill) flushLeftovers(bufs [][]joinBuf) error {
+	var spw *partSpiller
+	for p := 0; p < joinPartitions; p++ {
+		if !sp.spilled[p].Load() {
+			continue
+		}
+		if freed := sp.partBytes[p].Swap(0); freed != 0 {
+			sp.release(freed)
+		}
+		for wi := range bufs {
+			buf := &bufs[wi][p]
+			if buf.n == 0 {
+				continue
+			}
+			if spw == nil {
+				// One extra spiller id past the worker range keeps file
+				// names collision-free.
+				spw = sp.newPartSpiller(len(bufs), false)
+			}
+			for _, c := range buf.chunks {
+				for i := range c {
+					if err := spw.write(p, c[i].row, false); err != nil {
+						return err
+					}
+				}
+			}
+			*buf = joinBuf{}
+		}
+	}
+	if spw != nil {
+		return spw.finish()
+	}
+	return nil
+}
+
+// ---- second pass ----
+
+// spillEmit accumulates second-pass matches into output batches. The
+// second pass is single-threaded (it runs on the closer goroutine after
+// every probe worker has exited), so one pending batch suffices.
+type spillEmit struct {
+	j   *hashJoinOp
+	cur *Batch
+}
+
+func (e *spillEmit) emit(b, p tuple.Tuple) error {
+	if e.cur == nil {
+		e.cur = NewBatch()
+	}
+	if e.j.opts.BuildIsRight {
+		e.cur.AppendConcat(p, b)
+	} else {
+		e.cur.AppendConcat(b, p)
+	}
+	if e.cur.Full() {
+		ok := e.j.send(e.cur)
+		e.cur = nil
+		if !ok {
+			return errSpillClosed
+		}
+	}
+	return nil
+}
+
+func (e *spillEmit) finish() {
+	if e.cur == nil {
+		return
+	}
+	if e.cur.Len() > 0 {
+		e.j.send(e.cur)
+	} else {
+		e.cur.Release()
+	}
+	e.cur = nil
+}
+
+// secondPass joins every spilled partition from its run files, emitting
+// result batches through the operator's normal send path. Runs after
+// all probe workers have exited and before the output channel closes.
+// Spilled partitions are independent, so the pass runs them on the full
+// worker pool — each worker owns its partitions end to end (load,
+// recurse, probe, emit via its own batches), matching the first pass's
+// partition parallelism instead of serializing the spilled tail.
+func (j *hashJoinOp) secondPass() {
+	sp := j.spill
+	// The first-pass tables are done: their probe stream has drained.
+	// Drop them and return their budget bytes — that headroom funds the
+	// second-pass loads.
+	for p := range j.parts {
+		j.parts[p] = nil
+		if held := sp.partBytes[p].Swap(0); held != 0 {
+			sp.release(held)
+		}
+	}
+	var parts []int
+	for p := 0; p < joinPartitions; p++ {
+		if sp.isSpilled(p) {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return
+	}
+	w := j.workerCount()
+	if w > len(parts) {
+		w = len(parts)
+	}
+	// Fit decisions use the full operator limit; the byte semaphore
+	// keeps the sum of concurrent loads inside it.
+	limit := j.e.Mem.Limit()
+	sp.sem = newByteSem(limit)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			em := &spillEmit{j: j}
+			for {
+				k := int(next.Add(1) - 1)
+				if k >= len(parts) || j.failed.Load() {
+					break
+				}
+				build, probe := sp.takeFiles(parts[k])
+				if err := j.joinSpilled(0, build, probe, em, limit); err != nil {
+					removeRuns(build)
+					removeRuns(probe)
+					if err != errSpillClosed {
+						j.fail(err)
+					}
+					break
+				}
+			}
+			em.finish()
+		}()
+	}
+	wg.Wait()
+}
+
+// joinSpilled joins one spilled partition:
+//
+//   - fits the budget → load the build rows into one table and stream
+//     the probe rows through it;
+//   - over budget with hash bits to spare → re-partition both sides
+//     16 ways on the next bit range and recurse;
+//   - bits exhausted or maxSpillDepth reached → chunked build: the
+//     terminal fallback that loads budget-sized build chunks and
+//     re-streams the whole probe side per chunk (correct for any key
+//     distribution, including a single key repeated millions of times).
+func (j *hashJoinOp) joinSpilled(level int, build, probe []runFile, em *spillEmit, limit int64) error {
+	if len(build) == 0 || len(probe) == 0 {
+		removeRuns(build)
+		removeRuns(probe)
+		return nil
+	}
+	shift := 64 - joinRadixBits - spillSubBits*(level+1)
+	switch {
+	case sumRunBytes(build) <= limit:
+		return j.loadAndProbe(build, probe, em)
+	case level >= maxSpillDepth || shift < 0:
+		return j.chunkedJoin(build, probe, em, limit)
+	default:
+		return j.repartition(level, shift, build, probe, em, limit)
+	}
+}
+
+// loadAndProbe is the happy second-pass path: the partition fits, so it
+// joins exactly like a first-pass partition — one table, one probe
+// stream.
+func (j *hashJoinOp) loadAndProbe(build, probe []runFile, em *spillEmit) error {
+	defer removeRuns(build)
+	defer removeRuns(probe)
+	if sem := j.spill.sem; sem != nil {
+		granted := sem.acquire(sumRunBytes(build))
+		defer sem.release(granted)
+	}
+	var buf joinBuf
+	held := int64(0)
+	defer func() { j.spill.release(held) }()
+	err := eachRunFrame(build, func(rows []tuple.Tuple) error {
+		for _, r := range rows {
+			key := r[j.bCol]
+			buf.add(key.Hash64(), r)
+			n := int64(r.MemBytes())
+			held += n
+			j.spill.charge(n)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ht := newJoinTable(j.bCol, &buf)
+	return eachRunFrame(probe, func(rows []tuple.Tuple) error {
+		for _, p := range rows {
+			key := p[j.pCol]
+			it := ht.lookup(key.Hash64(), key)
+			for {
+				b, ok := it.next()
+				if !ok {
+					break
+				}
+				if err := em.emit(b, p); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// repartition splits both sides of an oversized partition on the next
+// spillSubBits hash bits and recurses per sub-partition. The parent run
+// files are removed as soon as the sub-runs are written, so peak disk
+// stays ~2× the spilled data regardless of depth.
+func (j *hashJoinOp) repartition(level, shift int, build, probe []runFile, em *spillEmit, limit int64) error {
+	split := func(files []runFile, col int) ([][]runFile, error) {
+		defer removeRuns(files)
+		var wr [spillFanout]*runWriter
+		dir, err := j.spill.tempDir()
+		if err != nil {
+			return nil, err
+		}
+		err = eachRunFrame(files, func(rows []tuple.Tuple) error {
+			for _, r := range rows {
+				h := r[col].Hash64()
+				i := int((h >> uint(shift)) & (spillFanout - 1))
+				if wr[i] == nil {
+					name := fmt.Sprintf("sub-l%d-%d.run", level+1, j.spill.fileSeq.Add(1))
+					w, err := newRunWriter(filepath.Join(dir, name))
+					if err != nil {
+						return err
+					}
+					wr[i] = w
+				}
+				// Decoded frame rows are fresh allocations; no copy.
+				if err := wr[i].append(r, false); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		out := make([][]runFile, spillFanout)
+		for i, w := range wr {
+			if w == nil {
+				continue
+			}
+			rf, ferr := w.finish()
+			if ferr != nil && err == nil {
+				err = ferr
+			}
+			if rf.rows > 0 {
+				out[i] = []runFile{rf}
+				j.spill.spilledRows.Add(rf.rows)
+				j.spill.spilledBytes.Add(rf.diskBytes)
+				j.e.Meter.AddSpill(int(rf.rows), int(rf.diskBytes))
+			} else {
+				os.Remove(rf.path)
+			}
+		}
+		return out, err
+	}
+	subBuild, err := split(build, j.bCol)
+	if err != nil {
+		for _, fs := range subBuild {
+			removeRuns(fs)
+		}
+		return err
+	}
+	subProbe, err := split(probe, j.pCol)
+	if err != nil {
+		for _, fs := range subBuild {
+			removeRuns(fs)
+		}
+		for _, fs := range subProbe {
+			removeRuns(fs)
+		}
+		return err
+	}
+	for i := 0; i < spillFanout; i++ {
+		if err := j.joinSpilled(level+1, subBuild[i], subProbe[i], em, limit); err != nil {
+			for k := i + 1; k < spillFanout; k++ {
+				removeRuns(subBuild[k])
+				removeRuns(subProbe[k])
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// chunkedJoin is the terminal fallback: build rows stream in
+// budget-sized chunks, and every chunk re-streams the entire probe
+// side. Each build row lands in exactly one chunk, so the output
+// multiset is exactly the join — only the probe I/O multiplies, which
+// is the price of a key distribution hashing cannot split.
+func (j *hashJoinOp) chunkedJoin(build, probe []runFile, em *spillEmit, limit int64) error {
+	defer removeRuns(build)
+	defer removeRuns(probe)
+	if sem := j.spill.sem; sem != nil {
+		// Chunks grow to the full limit, so a chunked partition owns the
+		// whole budget for its duration.
+		granted := sem.acquire(limit)
+		defer sem.release(granted)
+	}
+	var buf joinBuf
+	held := int64(0)
+	probeChunk := func() error {
+		if buf.n == 0 {
+			return nil
+		}
+		ht := newJoinTable(j.bCol, &buf)
+		err := eachRunFrame(probe, func(rows []tuple.Tuple) error {
+			for _, p := range rows {
+				key := p[j.pCol]
+				it := ht.lookup(key.Hash64(), key)
+				for {
+					b, ok := it.next()
+					if !ok {
+						break
+					}
+					if err := em.emit(b, p); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		buf = joinBuf{}
+		j.spill.release(held)
+		held = 0
+		return err
+	}
+	err := eachRunFrame(build, func(rows []tuple.Tuple) error {
+		for _, r := range rows {
+			key := r[j.bCol]
+			buf.add(key.Hash64(), r)
+			n := int64(r.MemBytes())
+			held += n
+			// Flush on global pressure or when this worker's slice of
+			// the budget fills — either way the chunk shrinks, never
+			// the memory cap.
+			if j.spill.charge(n) || held >= limit {
+				if err := probeChunk(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		j.spill.release(held)
+		return err
+	}
+	return probeChunk()
+}
+
+// SpilledBytes reports the run-file bytes this join wrote (build and
+// probe sides, including recursive re-partitioning), 0 for an
+// unbudgeted or never-pressured join. Valid once the stream is drained;
+// planner instrumentation surfaces it as OpStats.SpilledBytes.
+func (j *hashJoinOp) SpilledBytes() int64 {
+	if j.spill == nil {
+		return 0
+	}
+	return j.spill.spilledBytes.Load()
+}

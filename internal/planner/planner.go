@@ -116,9 +116,54 @@ func (r *Runner) estimateHyper(rRefs []core.BlockRef, rCol int, sRefs []core.Blo
 }
 
 // estimateShuffle prices a shuffle join with eq. 1: CSJ per row on both
-// sides.
+// sides, plus the spill term when the executor carries a memory budget
+// — a shuffle join materializes its smaller side into one hash table,
+// and rows beyond the budget are demoted to disk run files (write +
+// read-back, priced by SpillRowFactor). Hyper-join never pays this: its
+// §4.1 grouping bounds every build to the block budget, which is
+// exactly the trade the comparison should see under tight memory.
 func (r *Runner) estimateShuffle(rRefs, sRefs []core.BlockRef) float64 {
-	return r.Model.CSJ * float64(refRows(rRefs)+refRows(sRefs))
+	rRows, sRows := refRows(rRefs), refRows(sRefs)
+	build, probe := rRows, sRows
+	if sRows < rRows {
+		build, probe = sRows, rRows
+	}
+	return r.Model.CSJ*float64(rRows+sRows) + r.spillEstimate(build, probe)
+}
+
+// estRowBytes approximates a row's in-memory footprint for spill
+// estimation — value structs dominate, string payloads are noise at
+// planning time. Only steers strategy choice, never correctness.
+const estRowBytes = 64
+
+// spillEstimate prices the disk I/O a hash build of buildRows rows
+// would pay under the executor's memory budget: the fraction of the
+// build that exceeds the budget spills, and the probe rows hashing to
+// spilled partitions spill with it (the second-pass pairing of the
+// hybrid hash join), each priced at SpillRowFactor per row.
+func (r *Runner) spillEstimate(buildRows, probeRows int) float64 {
+	limit := r.Ex.MemLimit()
+	if limit <= 0 || buildRows == 0 {
+		return 0
+	}
+	bytes := int64(buildRows) * estRowBytes
+	if bytes <= limit {
+		return 0
+	}
+	frac := 1 - float64(limit)/float64(bytes)
+	return r.Model.SpillRowFactor * frac * float64(buildRows+probeRows)
+}
+
+// residualShuffle prices one residual sub-join of a combination plan:
+// eq. 1's CSJ on both sides plus the spill term of its hash build
+// (built on the smaller side), mirroring estimateShuffle on row counts
+// instead of ref sets.
+func (r *Runner) residualShuffle(aRows, bRows int) float64 {
+	build, probe := aRows, bRows
+	if bRows < aRows {
+		build, probe = bRows, aRows
+	}
+	return r.Model.CSJ*float64(aRows+bRows) + r.spillEstimate(build, probe)
 }
 
 // tableJoinPlan is the compile-time strategy decision for one
@@ -191,14 +236,18 @@ func (r *Runner) planTableJoin(l *Scan, lCol int, rt *Scan, rCol int) tableJoinP
 	// transition is nearly done. Early in a transition the residual
 	// shuffles (which re-read the other side) can exceed a plain shuffle
 	// join, so cost-compare first (§5.4).
+	// Each residual sub-join is itself a budgeted hash build at runtime,
+	// so it carries the same spill term as the plain-shuffle estimate —
+	// pricing them CSJ-only would make combination look artificially
+	// cheap exactly when memory is tight.
 	combEst := hyEst
 	if len(p.l2) > 0 {
 		// shuffle(A2 ⋈ B): scan+shuffle A2's rows and all of B again.
-		combEst += r.Model.CSJ * float64(refRows(p.l2)+refRows(p.r1)+refRows(p.r2))
+		combEst += r.residualShuffle(refRows(p.l2), refRows(p.r1)+refRows(p.r2))
 	}
 	if len(p.r2) > 0 {
 		// shuffle(A1 ⋈ B2): re-scan+shuffle A1 and B2's residual rows.
-		combEst += r.Model.CSJ * float64(refRows(p.l1)+refRows(p.r2))
+		combEst += r.residualShuffle(refRows(p.l1), refRows(p.r2))
 	}
 	if combEst >= r.estimateShuffle(append(append([]core.BlockRef(nil), p.l1...), p.l2...),
 		append(append([]core.BlockRef(nil), p.r1...), p.r2...)) {

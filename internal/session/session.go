@@ -66,6 +66,16 @@ type Config struct {
 	ForceShuffle bool
 	// Workers bounds executor parallelism; 0 = one per store node.
 	Workers int
+	// MemBudget bounds operator memory in bytes (0 = unlimited): hash
+	// joins charge their build sides against it and demote partitions to
+	// disk run files under pressure — the spilling hybrid hash join. In
+	// distributed mode the budget splits into equal per-node shares.
+	// Per-operator spill volume lands in OpStats.SpilledBytes and the
+	// query's Counters.SpillRows/SpillBytes.
+	MemBudget int64
+	// SpillDir is where budget-pressured joins put run files ("" = the
+	// OS temp dir).
+	SpillDir string
 	// Distributed enables the per-node execution fabric: every store
 	// node gets its own executor (worker pool + meter shard), scans run
 	// where their blocks live, and joins move rows through exchange
@@ -100,7 +110,10 @@ func New(store *dfs.Store, cfg Config) *Session {
 	meter := &cluster.Meter{}
 	ex := exec.New(store, meter)
 	ex.Workers = cfg.Workers
+	ex.Mem = exec.NewMemBudget(cfg.MemBudget)
+	ex.SpillDir = cfg.SpillDir
 	if cfg.Distributed {
+		// After the budget: EnableNodes splits it into per-node shares.
 		ex.EnableNodes(cfg.WorkersPerNode)
 	}
 	runner := planner.NewRunner(ex, model)

@@ -1,0 +1,66 @@
+package session
+
+import (
+	"testing"
+
+	"adaptdb/internal/optimizer"
+)
+
+// runBudgeted replays the same query through a fresh session configured
+// with the given memory budget and returns the result.
+func runBudgeted(t *testing.T, budget int64, distributed bool) *Result {
+	t.Helper()
+	f := setup(t)
+	s := New(f.store, Config{
+		Optimizer: optimizer.Config{Mode: optimizer.ModeStatic, Seed: 9},
+		// Force the shuffle strategy: hyper-join bounds its builds by
+		// the block budget and never spills, which is exactly what this
+		// test must not silently measure.
+		ForceShuffle: true,
+		MemBudget:    budget,
+		SpillDir:     t.TempDir(),
+		Distributed:  distributed,
+	})
+	res, err := s.Execute(f.query(0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSessionMemBudgetIdenticalResults drives the full session path —
+// plan, compile, drain — under no budget, a generous budget, and a
+// starved budget, centralized and distributed, asserting the result
+// multiset never changes and that the starved runs actually spill
+// (visible per-op in OpStats.SpilledBytes and in the query's counters).
+func TestSessionMemBudgetIdenticalResults(t *testing.T) {
+	for _, distributed := range []bool{false, true} {
+		name := "centralized"
+		if distributed {
+			name = "distributed"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := runBudgeted(t, 0, distributed)
+			if base.RowCount == 0 {
+				t.Fatal("baseline query returned no rows — test is vacuous")
+			}
+			if base.Counters.SpillRows != 0 {
+				t.Errorf("unbudgeted run spilled %v rows", base.Counters.SpillRows)
+			}
+			starved := runBudgeted(t, 4096, distributed)
+			sameRows(t, starved.Rows, base.Rows, "starved budget")
+			if starved.Counters.SpillRows == 0 {
+				t.Error("4KB budget spilled nothing — spill path not exercised")
+			}
+			var spilled int64
+			for _, op := range starved.Ops {
+				spilled += op.SpilledBytes
+			}
+			if spilled == 0 {
+				t.Error("no operator reported SpilledBytes under a starved budget")
+			}
+			generous := runBudgeted(t, 64<<20, distributed)
+			sameRows(t, generous.Rows, base.Rows, "generous budget")
+		})
+	}
+}

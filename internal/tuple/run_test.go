@@ -1,0 +1,141 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"adaptdb/internal/value"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	rows := []Tuple{
+		{value.NewInt(1), value.NewString("alpha"), value.NewFloat(1.5)},
+		{value.NewInt(-7), value.NewString(""), value.NewFloat(math.Inf(1))},
+		{value.Value{}, value.NewString("βγ"), value.NewFloat(math.NaN())},
+		{value.NewDate(19000), value.NewString("tail"), value.NewFloat(-0.0)},
+	}
+	enc, err := AppendFrame(nil, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("%d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for c := range rows[i] {
+			w, g := rows[i][c], got[i][c]
+			if w.K != g.K {
+				t.Fatalf("row %d col %d kind %v, want %v", i, c, g.K, w.K)
+			}
+			// Bit-exact floats (NaN, -0.0) survive the round trip.
+			if w.K == value.Float {
+				if math.Float64bits(w.F) != math.Float64bits(g.F) {
+					t.Fatalf("row %d col %d float bits differ", i, c)
+				}
+				continue
+			}
+			if value.Compare(w, g) != 0 {
+				t.Fatalf("row %d col %d = %v, want %v", i, c, g, w)
+			}
+		}
+	}
+}
+
+func TestFrameEmptyAndZeroArity(t *testing.T) {
+	enc, err := AppendFrame(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, n, err := DecodeFrame(enc)
+	if err != nil || len(rows) != 0 || n != len(enc) {
+		t.Fatalf("empty frame: rows=%d n=%d err=%v", len(rows), n, err)
+	}
+	// Zero-arity rows are a valid (degenerate) frame.
+	enc, err = AppendFrame(nil, []Tuple{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err = DecodeFrame(enc)
+	if err != nil || len(rows) != 2 || len(rows[0]) != 0 {
+		t.Fatalf("zero-arity frame: rows=%v err=%v", rows, err)
+	}
+}
+
+func TestFrameMixedArityRejected(t *testing.T) {
+	_, err := AppendFrame(nil, []Tuple{
+		{value.NewInt(1)},
+		{value.NewInt(1), value.NewInt(2)},
+	})
+	if err == nil {
+		t.Fatal("mixed-arity frame must be rejected")
+	}
+}
+
+func TestFrameDecodeCorruptInput(t *testing.T) {
+	rows := []Tuple{{value.NewInt(42), value.NewString("x")}}
+	enc, err := AppendFrame(nil, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, err := DecodeFrame(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes decoded without error", cut)
+		}
+	}
+	if _, _, err := DecodeFrame(nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+	// Implausible row×col product must be rejected, not allocated.
+	bad := []byte{0xff, 0xff, 0xff, 0xff, 0x7f, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := DecodeFrame(bad); err == nil {
+		t.Fatal("giant frame header must be rejected")
+	}
+	// A header whose product wraps uint64 (nRows=1<<62, nCols=4) must
+	// error, not defeat the guard and panic in the allocation.
+	var wrap []byte
+	wrap = binary.AppendUvarint(wrap, 1<<62)
+	wrap = binary.AppendUvarint(wrap, 4)
+	if _, _, err := DecodeFrame(wrap); err == nil {
+		t.Fatal("overflowing frame header must be rejected")
+	}
+}
+
+func TestFrameDecodedRowsAreClipped(t *testing.T) {
+	rows := []Tuple{
+		{value.NewInt(1), value.NewInt(2)},
+		{value.NewInt(3), value.NewInt(4)},
+	}
+	enc, err := AppendFrame(nil, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appending to a decoded row must not clobber its flat-array
+	// neighbour.
+	_ = append(got[0], value.NewInt(99))
+	if got[1][0].Int64() != 3 {
+		t.Fatal("append to decoded row clobbered the next row")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	empty := Tuple{}
+	if empty.MemBytes() != 24 {
+		t.Errorf("empty tuple = %d, want 24 (slice header)", empty.MemBytes())
+	}
+	r := Tuple{value.NewInt(1), value.NewString("abcd")}
+	if got := r.MemBytes(); got != 24+80+4 {
+		t.Errorf("MemBytes = %d, want %d", got, 24+80+4)
+	}
+}

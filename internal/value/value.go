@@ -166,6 +166,22 @@ func Compare(a, b Value) int {
 		}
 		return 0
 	case Float:
+		// IEEE comparisons are all false against NaN, which would make
+		// NaN "equal" to every float and break the total order (and
+		// disagree with Hash64, which buckets NaNs alone — the PR-5
+		// differential harness caught exactly that). Order NaNs
+		// explicitly: all NaNs are equal to each other and sort before
+		// every other float.
+		an, bn := a.F != a.F, b.F != b.F
+		if an || bn {
+			switch {
+			case an && bn:
+				return 0
+			case an:
+				return -1
+			}
+			return 1
+		}
 		switch {
 		case a.F < b.F:
 			return -1

@@ -85,9 +85,31 @@ func TestCompareCrossKind(t *testing.T) {
 	}
 }
 
+func TestCompareNaNTotalOrder(t *testing.T) {
+	// PR-5 regression (found by the join differential harness): IEEE
+	// comparisons are all false against NaN, so the old Float case
+	// reported NaN "equal" to every float — the nested-loop oracle
+	// joined NaN keys with everything while the hash paths did not, and
+	// SortRows lost its total order. NaNs are equal to each other and
+	// sort before every other float.
+	nan := NewFloat(math.NaN())
+	if Compare(nan, NewFloat(math.NaN())) != 0 {
+		t.Error("NaN must equal NaN")
+	}
+	for _, f := range []Value{NewFloat(-1e300), NewFloat(0), NewFloat(math.Inf(-1)), NewFloat(math.Inf(1))} {
+		if Compare(nan, f) != -1 || Compare(f, nan) != 1 {
+			t.Errorf("NaN must sort strictly before %v", f)
+		}
+		if Equal(nan, f) {
+			t.Errorf("NaN must not equal %v", f)
+		}
+	}
+}
+
 func TestCompareIsTotalOrder(t *testing.T) {
 	vals := []Value{
 		{}, NewInt(-3), NewInt(0), NewInt(5), NewFloat(-1.5), NewFloat(3.25),
+		NewFloat(math.NaN()), NewFloat(math.Inf(-1)), NewFloat(math.Inf(1)),
 		NewString(""), NewString("abc"), NewDate(100), NewBool(true), NewBool(false),
 	}
 	// Antisymmetry and consistency.
