@@ -17,7 +17,7 @@
 //	adaptdb-bench -session -json      # per-operator records (BENCH_PR3.json)
 //	adaptdb-bench -spill -sf 0.1      # shuffle join across memory budgets
 //	                                  # {inf, 1/2, 1/8 build}; -json emits
-//	                                  # BENCH_PR5.json (self-gates on result
+//	                                  # BENCH_PR6.json (self-gates on result
 //	                                  # checksums)
 //	adaptdb-bench -mem 50000000 ...   # budget the -pipeline/-session runs
 package main
@@ -75,7 +75,7 @@ func main() {
 		fig      = flag.String("fig", "", "run a single experiment (e.g. fig12); empty = all")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		pipeline = flag.Bool("pipeline", false, "compare materialized vs pipelined executor paths and exit")
-		spill    = flag.Bool("spill", false, "sweep the shuffle join across memory budgets {inf, 1/2 build, 1/8 build} and exit (BENCH_PR5.json with -json)")
+		spill    = flag.Bool("spill", false, "sweep the shuffle join across memory budgets {inf, 1/2 build, 1/8 build} and exit (BENCH_PR6.json with -json)")
 		sess     = flag.Bool("session", false, "replay a join-attribute-shifting TPC-H stream through adaptive sessions (adaptation on vs off) and exit")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (implies -pipeline, or the session replay with -session); track results in BENCH_*.json")
 		sf       = flag.Float64("sf", 0, "TPC-H micro scale factor (default 0.002)")

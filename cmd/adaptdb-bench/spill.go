@@ -13,6 +13,8 @@ import (
 	"adaptdb/internal/exec"
 	"adaptdb/internal/experiments"
 	"adaptdb/internal/tpch"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
 )
 
 // spillRecord is one memory-budget point of the spill sweep. Checksum
@@ -28,20 +30,24 @@ type spillRecord struct {
 	NsPerOp      int64   `json:"ns_per_op"`
 	SpilledBytes int64   `json:"spilled_bytes"`
 	SpillRows    int64   `json:"spill_rows"`
+	SkippedRows  int64   `json:"spill_skipped_rows"`
 	Checksum     string  `json:"checksum"`
 	VsUnbudgeted float64 `json:"vs_unbudgeted"`
 }
 
 // spillReport is the machine-readable output of -spill -json — the
-// BENCH_PR5.json series.
+// BENCH_PR6.json series. Disjoint holds the Bloom-filter A/B: the same
+// starved join probed with keys that match nothing, filters on vs off.
 type spillReport struct {
-	SF             float64       `json:"sf"`
-	RowsPerBlock   int           `json:"rows_per_block"`
-	BatchSize      int           `json:"batch_size"`
-	BuildRows      int           `json:"build_rows"`
-	BuildMemBytes  int64         `json:"build_mem_bytes"`
-	Results        []spillRecord `json:"results"`
-	ChecksumsEqual bool          `json:"checksums_equal"`
+	SF                 float64       `json:"sf"`
+	RowsPerBlock       int           `json:"rows_per_block"`
+	BatchSize          int           `json:"batch_size"`
+	BuildRows          int           `json:"build_rows"`
+	BuildMemBytes      int64         `json:"build_mem_bytes"`
+	Results            []spillRecord `json:"results"`
+	ChecksumsEqual     bool          `json:"checksums_equal"`
+	Disjoint           []spillRecord `json:"disjoint_probe"`
+	DisjointSpillSaved float64       `json:"disjoint_bloom_spill_saved"`
 }
 
 // runSpillBench sweeps the SF-scale lineitem ⋈ orders shuffle join
@@ -96,7 +102,9 @@ func runSpillBench(cfg experiments.Config, jsonOut bool) error {
 		op := ex.JoinOp(
 			ex.TableScanOp(ord, nil), tpch.OOrderKey,
 			ex.TableScanOp(line, nil), tpch.LOrderKey,
-			exec.JoinOptions{BuildIsRight: true},
+			// The exact build cardinality, as the planner would thread it:
+			// sizes the dynamic radix fan-out and the spill Bloom filters.
+			exec.JoinOptions{BuildIsRight: true, BuildRowsEst: len(ds.Orders)},
 		)
 		start := time.Now()
 		rows, sum, err := checksumDrain(op)
@@ -113,6 +121,7 @@ func runSpillBench(cfg experiments.Config, jsonOut bool) error {
 			NsPerOp:      wall.Nanoseconds(),
 			SpilledBytes: int64(c.SpillBytes),
 			SpillRows:    int64(c.SpillRows),
+			SkippedRows:  int64(c.SpillSkippedRows),
 			Checksum:     sum,
 		}
 		if b.frac == "inf" {
@@ -133,6 +142,75 @@ func runSpillBench(cfg experiments.Config, jsonOut bool) error {
 			report.ChecksumsEqual = false
 		}
 	}
+
+	// Disjoint-probe A/B: every probe orderkey shifted past the build key
+	// range, so no probe row can match and every spill write of the probe
+	// side is pure waste. With Bloom filters on, those writes are skipped
+	// (SpillSkippedRows); with filters off, the classic Grace join pays
+	// them. The delta is the filter's I/O saving; both runs must agree on
+	// the (empty) result.
+	maxKey := int64(0)
+	for _, r := range ds.Orders {
+		if k := r[tpch.OOrderKey].I; k > maxKey {
+			maxKey = k
+		}
+	}
+	disjoint := make([]tuple.Tuple, len(ds.Lineitem))
+	for i, r := range ds.Lineitem {
+		nr := make(tuple.Tuple, len(r))
+		copy(nr, r)
+		nr[tpch.LOrderKey] = value.NewInt(maxKey + 1 + nr[tpch.LOrderKey].I)
+		disjoint[i] = nr
+	}
+	if !jsonOut {
+		fmt.Printf("\ndisjoint-key probe at mem=build/8 (%d probe rows, zero matches)\n\n", len(disjoint))
+	}
+	for _, noBloom := range []bool{false, true} {
+		meter := &cluster.Meter{}
+		ex := exec.New(store, meter)
+		ex.Mem = exec.NewMemBudget(buildBytes / 8)
+		op := ex.JoinOp(
+			ex.TableScanOp(ord, nil), tpch.OOrderKey,
+			exec.NewSource(disjoint), tpch.LOrderKey,
+			exec.JoinOptions{BuildIsRight: true, BuildRowsEst: len(ds.Orders), DisableBloom: noBloom},
+		)
+		start := time.Now()
+		rows, sum, err := checksumDrain(op)
+		wall := time.Since(start)
+		variant := "bloom"
+		if noBloom {
+			variant = "nobloom"
+		}
+		if err != nil {
+			return fmt.Errorf("disjoint %s: %w", variant, err)
+		}
+		c := meter.Snapshot()
+		rec := spillRecord{
+			Op:           "disjoint-probe/mem=build/8/" + variant,
+			BudgetBytes:  buildBytes / 8,
+			BudgetFrac:   "build/8",
+			Rows:         rows,
+			NsPerOp:      wall.Nanoseconds(),
+			SpilledBytes: int64(c.SpillBytes),
+			SpillRows:    int64(c.SpillRows),
+			SkippedRows:  int64(c.SpillSkippedRows),
+			Checksum:     sum,
+		}
+		report.Disjoint = append(report.Disjoint, rec)
+		if !jsonOut {
+			fmt.Printf("%-32s %12s %8d rows %14s spilled %10d skipped\n", rec.Op,
+				wall.Round(time.Millisecond), rows, fmtBytes(uint64(rec.SpilledBytes)), rec.SkippedRows)
+		}
+	}
+	ab := report.Disjoint
+	bloomOK := len(ab) == 2 &&
+		ab[0].Rows == ab[1].Rows && ab[0].Checksum == ab[1].Checksum &&
+		ab[0].SkippedRows > 0 && ab[1].SkippedRows == 0 &&
+		ab[0].SpilledBytes < ab[1].SpilledBytes
+	if bloomOK {
+		report.DisjointSpillSaved = 1 - float64(ab[0].SpilledBytes)/float64(ab[1].SpilledBytes)
+	}
+
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -143,8 +221,12 @@ func runSpillBench(cfg experiments.Config, jsonOut bool) error {
 	if !report.ChecksumsEqual {
 		return fmt.Errorf("budgeted results drifted from the unbudgeted run — spill path is WRONG")
 	}
+	if !bloomOK {
+		return fmt.Errorf("disjoint-probe A/B failed: bloom run must skip rows, spill fewer bytes, and match the no-bloom result")
+	}
 	if !jsonOut {
-		fmt.Println("\nall budgets bit-identical to the unbudgeted run")
+		fmt.Printf("\nall budgets bit-identical to the unbudgeted run; bloom saved %.0f%% of disjoint-probe spill bytes\n",
+			100*report.DisjointSpillSaved)
 	}
 	return nil
 }

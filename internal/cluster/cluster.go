@@ -52,6 +52,14 @@ type CostModel struct {
 	// the (never-spilling, group-bounded) hyper-join comparatively
 	// cheaper — exactly the trade §4.1's grouping exists to win.
 	SpillRowFactor float64
+	// BloomSkipFrac is the fraction of a spilled partition's probe rows
+	// the planner expects the join's Bloom filters to spare from the
+	// spill round-trip (such rows cost nothing — they are dropped
+	// before the run-file write). It discounts only the probe term of
+	// the spill estimate; the build side always pays. Conservative by
+	// default: on pure FK joins every probe row matches and the true
+	// skip fraction is 0, while disjoint-key probes skip ~100%.
+	BloomSkipFrac float64
 }
 
 // Default returns the model used across the experiments: 10 nodes,
@@ -66,6 +74,7 @@ func Default() CostModel {
 		IntermediateShuffleFactor: 1.0,
 		ExchangeRowFactor:         1.0,
 		SpillRowFactor:            2.0,
+		BloomSkipFrac:             0.25,
 	}
 }
 
@@ -110,6 +119,12 @@ type Counters struct {
 	// SpillRowFactor prices as a pair.
 	SpillRows  float64
 	SpillBytes float64
+	// SpillSkippedRows are probe rows of spilled partitions whose spill
+	// write the join's Bloom filter proved unnecessary (the key matches
+	// no build row). They cost nothing — that is the point — so
+	// CostUnits ignores them; the counter exists to make the saving
+	// visible.
+	SpillSkippedRows float64
 
 	// Bookkeeping for experiment reporting.
 	BlocksScanned int // distinct block read events (scan+build)
@@ -196,6 +211,15 @@ func (m *Meter) AddSpill(rows, bytes int) {
 	m.c.SpillBytes += float64(bytes)
 }
 
+// AddSpillSkip meters probe rows whose spill write a Bloom filter
+// elided — no I/O happened, so no cost accrues; the counter only
+// surfaces the saving.
+func (m *Meter) AddSpillSkip(rows int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.c.SpillSkippedRows += float64(rows)
+}
+
 // AddRepartWrite meters rows written to new partitions.
 func (m *Meter) AddRepartWrite(rows int) {
 	m.mu.Lock()
@@ -244,6 +268,7 @@ func (m *Meter) Merge(o Counters) {
 	m.c.ExchBytes += o.ExchBytes
 	m.c.SpillRows += o.SpillRows
 	m.c.SpillBytes += o.SpillBytes
+	m.c.SpillSkippedRows += o.SpillSkippedRows
 	m.c.BlocksScanned += o.BlocksScanned
 	m.c.ProbeBlocks += o.ProbeBlocks
 	m.c.ResultRows += o.ResultRows
@@ -283,10 +308,10 @@ func (c Counters) SimSeconds(m CostModel) float64 {
 
 // String renders a compact counters summary.
 func (c Counters) String() string {
-	return fmt.Sprintf("scan=%.0f(+%.0fr) shuffle=%.0f build=%.0f(+%.0fr) probe=%.0f(+%.0fr) repart=%.0f exch=%.0f(+%.0fr) spill=%.0f blocks=%d probes=%d rows=%d",
+	return fmt.Sprintf("scan=%.0f(+%.0fr) shuffle=%.0f build=%.0f(+%.0fr) probe=%.0f(+%.0fr) repart=%.0f exch=%.0f(+%.0fr) spill=%.0f(-%.0fskip) blocks=%d probes=%d rows=%d",
 		c.ScanLocal, c.ScanRemote, c.ShuffleRows, c.BuildLocal, c.BuildRemote,
 		c.ProbeLocal, c.ProbeRemote, c.RepartRows, c.ExchLocalRows, c.ExchRemoteRows,
-		c.SpillRows, c.BlocksScanned, c.ProbeBlocks, c.ResultRows)
+		c.SpillRows, c.SpillSkippedRows, c.BlocksScanned, c.ProbeBlocks, c.ResultRows)
 }
 
 // ExchRows returns the total rows that crossed exchanges, local and

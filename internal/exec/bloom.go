@@ -1,0 +1,114 @@
+// The per-partition Bloom filter of the spilling hybrid hash join.
+//
+// When a partition is demoted to disk, every probe row hashing to it
+// would classically be written to a run file and re-read in the second
+// pass — even rows whose key matches nothing on the build side. A
+// filter over the demoted partition's build keys lets such rows skip
+// the spill write entirely: a negative answer is exact (every build key
+// is inserted before the probe starts), a positive answer merely falls
+// back to the write. On disjoint- or sparse-key workloads this removes
+// the probe side's spill I/O wholesale; the skipped rows are metered as
+// Counters.SpillSkippedRows.
+package exec
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// defaultBloomFPR is the false-positive target spill filters are sized
+// for. 1% keeps the filter ~10 bits/key — a rounding error against the
+// run-file bytes each true positive costs — while skipping ~99% of the
+// unmatchable probe rows.
+const defaultBloomFPR = 0.01
+
+// bloomFilter is a double-hashed Bloom filter over value.Hash64 keys.
+// Inserts are safe for concurrent use (build workers of a demoted
+// partition add while flushing); queries must only start once inserts
+// have finished — the join's build/probe phase barrier guarantees it.
+//
+// The bit count is the exact ceil(-n·ln p / ln²2), not rounded to a
+// power of two, so the measured false-positive rate tracks the
+// configured target instead of whatever the next power of two yields.
+type bloomFilter struct {
+	words []uint64
+	nbits uint64
+	k     int
+}
+
+// newBloomFilter sizes a filter for expected keys at the target
+// false-positive rate (0 = defaultBloomFPR).
+func newBloomFilter(expected int, fpr float64) *bloomFilter {
+	if expected < 1 {
+		expected = 1
+	}
+	if fpr <= 0 || fpr >= 1 {
+		fpr = defaultBloomFPR
+	}
+	ln2 := math.Ln2
+	nbits := uint64(math.Ceil(-float64(expected) * math.Log(fpr) / (ln2 * ln2)))
+	if nbits < 64 {
+		nbits = 64
+	}
+	k := int(math.Round(float64(nbits) / float64(expected) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return &bloomFilter{words: make([]uint64, (nbits+63)/64), nbits: nbits, k: k}
+}
+
+// indexes derives the k probe positions from one Hash64 value with the
+// standard Kirsch–Mitzenmacher double hashing: g_i = h1 + i·h2. h2 is
+// re-mixed from h so partitions of the radix join (which consumed h's
+// top bits) still spread over the whole filter, and forced odd so the
+// probe sequence never degenerates.
+func (f *bloomFilter) index(h uint64, i int) uint64 {
+	h2 := h
+	h2 ^= h2 >> 33
+	h2 *= 0xff51afd7ed558ccd
+	h2 ^= h2 >> 33
+	h2 |= 1
+	return (h + uint64(i)*h2) % f.nbits
+}
+
+// add inserts a key hash. Safe for concurrent use.
+func (f *bloomFilter) add(h uint64) {
+	for i := 0; i < f.k; i++ {
+		pos := f.index(h, i)
+		w, bit := pos>>6, uint64(1)<<(pos&63)
+		for {
+			old := atomic.LoadUint64(&f.words[w])
+			if old&bit != 0 || atomic.CompareAndSwapUint64(&f.words[w], old, old|bit) {
+				break
+			}
+		}
+	}
+}
+
+// mayContain reports whether h could have been added: false is exact
+// (zero false negatives by construction), true may be a false positive
+// at roughly the configured rate.
+func (f *bloomFilter) mayContain(h uint64) bool {
+	for i := 0; i < f.k; i++ {
+		pos := f.index(h, i)
+		if atomic.LoadUint64(&f.words[pos>>6])&(uint64(1)<<(pos&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fillRatio reports the fraction of set bits — a saturation diagnostic
+// for tests (a filter past ~50% fill has blown its false-positive
+// budget, usually from an undersized expectation).
+func (f *bloomFilter) fillRatio() float64 {
+	set := 0
+	for i := range f.words {
+		set += bits.OnesCount64(atomic.LoadUint64(&f.words[i]))
+	}
+	return float64(set) / float64(len(f.words)*64)
+}

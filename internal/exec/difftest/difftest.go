@@ -35,26 +35,44 @@ import (
 	"adaptdb/internal/value"
 )
 
-// Dists enumerates the key distributions cases draw from.
-var Dists = []string{"uniform", "skewed", "dup", "nullheavy", "sparse", "weird"}
+// Dists enumerates the key distributions cases draw from. zipfdisjoint
+// targets the Bloom skip path: the left side's keys pile Zipf-style
+// onto a few hot values while the right side draws mostly (80%) from a
+// disjoint key range — nearly every probe row of a spilled partition is
+// skippable, and the 20% overlap proves skipping never loses a real
+// match.
+var Dists = []string{"uniform", "skewed", "dup", "nullheavy", "sparse", "weird", "zipfdisjoint"}
+
+// Shapes enumerates the relation-size shapes cases draw from. The heavy
+// shapes put three orders of magnitude between the sides, so budgeted
+// runs hit the second pass with one side's run files far smaller than
+// the other's — the role-reversal trigger.
+var Shapes = []string{"balanced", "leftheavy", "rightheavy"}
 
 // Case is one generated differential scenario.
 type Case struct {
 	Seed        int64
 	Dist        string
+	Shape       string
 	Left, Right []tuple.Tuple
 	LSch, RSch  *schema.Schema
 	LCol, RCol  int
 	// Budget is the executor memory budget in bytes (0 = unlimited).
 	Budget int64
+	// EstFactor injects build-size estimate error: the joins receive
+	// BuildRowsEst = |build| × EstFactor (planner paths scale through
+	// Runner.EstScale). 0 means no estimate at all; the adversarial
+	// values are 0.1 and 10 — wrong by 10x in either direction, which
+	// must bend only the fan-out choice, never the result.
+	EstFactor float64
 	// CoPart loads the distributed tables with a join tree on the key
 	// (the hyper-join-eligible layout) instead of random partitioning.
 	CoPart bool
 }
 
 func (c Case) String() string {
-	return fmt.Sprintf("seed=%d dist=%s |L|=%d |R|=%d budget=%d copart=%v",
-		c.Seed, c.Dist, len(c.Left), len(c.Right), c.Budget, c.CoPart)
+	return fmt.Sprintf("seed=%d dist=%s shape=%s |L|=%d |R|=%d budget=%d est=%g copart=%v",
+		c.Seed, c.Dist, c.Shape, len(c.Left), len(c.Right), c.Budget, c.EstFactor, c.CoPart)
 }
 
 // kindName renders values for schema column kinds.
@@ -71,11 +89,25 @@ func Generate(seed int64) Case {
 	}
 	c.LSch, c.LCol = genSchema(rng, "l", keyKind)
 	c.RSch, c.RCol = genSchema(rng, "r", keyKind)
-	nL := genCount(rng)
-	nR := genCount(rng)
+	var nL, nR int
+	switch rng.Intn(4) {
+	case 0:
+		c.Shape = "leftheavy"
+		nL, nR = 600+rng.Intn(900), 1+rng.Intn(10)
+	case 1:
+		c.Shape = "rightheavy"
+		nL, nR = 1+rng.Intn(10), 600+rng.Intn(900)
+	default:
+		c.Shape = "balanced"
+		nL, nR = genCount(rng), genCount(rng)
+	}
 	keyRange := int64(1 + (nL+nR)/3) // dense enough that joins hit
+	rDist := c.Dist
+	if c.Dist == "zipfdisjoint" {
+		rDist = "zipfdisjointR" // probe side draws from the disjoint range
+	}
 	c.Left = genRows(rng, c.LSch, c.LCol, nL, c.Dist, keyKind, keyRange)
-	c.Right = genRows(rng, c.RSch, c.RCol, nR, c.Dist, keyKind, keyRange)
+	c.Right = genRows(rng, c.RSch, c.RCol, nR, rDist, keyKind, keyRange)
 	switch rng.Intn(3) {
 	case 0: // unlimited
 	case 1:
@@ -84,6 +116,12 @@ func Generate(seed int64) Case {
 		if b := rowsMemBytes(c.Left) / int64(2+rng.Intn(7)); b > 0 {
 			c.Budget = b // a fraction of the build side
 		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		c.EstFactor = 0.1 // 10x under: fan-out too small, spill depth grows
+	case 1:
+		c.EstFactor = 10 // 10x over: fan-out too large, partitions fragment
 	}
 	c.CoPart = rng.Intn(2) == 0
 	return c
@@ -155,6 +193,21 @@ func genKey(rng *rand.Rand, dist string, kind value.Kind, keyRange int64) value.
 		k = rng.Int63n(keyRange)
 	case "sparse":
 		k = rng.Int63() // almost no matches
+	case "zipfdisjoint":
+		// Steeper than "skewed": the fourth power piles most keys onto a
+		// handful of hot values, so budgeted runs demote skewed
+		// partitions whose Bloom filters then carry few distinct keys.
+		f := rng.Float64()
+		k = int64(f * f * f * f * float64(keyRange))
+	case "zipfdisjointR":
+		if rng.Float64() < 0.2 {
+			// The overlap slice: matches that a broken Bloom skip would
+			// lose (a false negative is a correctness bug, not a perf one).
+			f := rng.Float64()
+			k = int64(f * f * f * f * float64(keyRange))
+		} else {
+			k = keyRange + 1 + rng.Int63n(4*keyRange+1) // disjoint range
+		}
 	case "weird":
 		switch rng.Intn(6) {
 		case 0:
@@ -243,10 +296,27 @@ func diffRows(label string, got, want []tuple.Tuple) error {
 	return nil
 }
 
+// estRows applies the case's injected estimate error to a true build
+// cardinality. 0 factor means "no estimate" (the joins fall back to
+// their fixed default fan-out).
+func (c Case) estRows(n int) int {
+	if c.EstFactor <= 0 {
+		return 0
+	}
+	v := int(float64(n) * c.EstFactor)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
 // RunCentralized checks every centralized join path of a case against
 // the oracle: HashJoinRows, then JoinOp in both build orientations
 // under the case's budget (nil budget = the untouched fast path;
-// non-nil exercises the spilling hybrid hash join).
+// non-nil exercises the spilling hybrid hash join — role reversal,
+// Bloom-filtered spill writes, and the estimate-steered fan-out). A
+// budgeted case also runs once with Bloom filtering disabled, so a
+// divergence between the filtered and classic spill paths cannot hide.
 func RunCentralized(c Case) error {
 	oracle := exec.NestedLoopJoin(c.Left, c.Right, c.LCol, c.RCol)
 
@@ -254,25 +324,36 @@ func RunCentralized(c Case) error {
 		return fmt.Errorf("%s: %w", c, err)
 	}
 
-	for _, orient := range []string{"build-left", "build-right"} {
+	type variant struct {
+		name         string
+		build, probe []tuple.Tuple
+		bCol, pCol   int
+		opts         exec.JoinOptions
+	}
+	variants := []variant{
+		{"build-left", c.Left, c.Right, c.LCol, c.RCol,
+			exec.JoinOptions{BuildRowsEst: c.estRows(len(c.Left))}},
+		{"build-right", c.Right, c.Left, c.RCol, c.LCol,
+			exec.JoinOptions{BuildIsRight: true, BuildRowsEst: c.estRows(len(c.Right))}},
+	}
+	if c.Budget > 0 {
+		variants = append(variants, variant{"build-left-nobloom", c.Left, c.Right, c.LCol, c.RCol,
+			exec.JoinOptions{DisableBloom: true, BuildRowsEst: c.estRows(len(c.Left))}})
+	}
+	for _, v := range variants {
 		store := dfs.NewStore(2, 1, c.Seed)
 		ex := exec.New(store, &cluster.Meter{})
 		ex.Mem = exec.NewMemBudget(c.Budget)
-		var op exec.Operator
-		if orient == "build-left" {
-			op = ex.JoinOp(exec.NewSource(c.Left), c.LCol, exec.NewSource(c.Right), c.RCol, exec.JoinOptions{})
-		} else {
-			op = ex.JoinOp(exec.NewSource(c.Right), c.RCol, exec.NewSource(c.Left), c.LCol, exec.JoinOptions{BuildIsRight: true})
-		}
+		op := ex.JoinOp(exec.NewSource(v.build), v.bCol, exec.NewSource(v.probe), v.pCol, v.opts)
 		got, err := exec.Collect(op)
 		if err != nil {
-			return fmt.Errorf("%s: JoinOp[%s]: %w", c, orient, err)
+			return fmt.Errorf("%s: JoinOp[%s]: %w", c, v.name, err)
 		}
-		if err := diffRows("JoinOp["+orient+"]", got, oracle); err != nil {
+		if err := diffRows("JoinOp["+v.name+"]", got, oracle); err != nil {
 			return fmt.Errorf("%s: %w", c, err)
 		}
 		if used := ex.Mem.Used(); used != 0 {
-			return fmt.Errorf("%s: JoinOp[%s] leaked %d budget bytes", c, orient, used)
+			return fmt.Errorf("%s: JoinOp[%s] leaked %d budget bytes", c, v.name, used)
 		}
 	}
 	return nil
@@ -309,6 +390,7 @@ func RunDistributed(c Case, nodes int) error {
 	ex.Mem = exec.NewMemBudget(c.Budget)
 	ex.EnableNodes(1)
 	runner := planner.NewRunner(ex, cluster.Default())
+	runner.EstScale = c.EstFactor // inject the case's estimate error into every compiled join
 	plan := &planner.Join{
 		Left:  &planner.Scan{Table: lt},
 		Right: &planner.Scan{Table: rt},

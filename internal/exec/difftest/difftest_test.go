@@ -21,16 +21,22 @@ var (
 
 // TestQuickCentralized replays a fixed band of seeds through every
 // centralized join path. The band is wide enough that generation
-// covers every distribution and budget class (asserted below, so a
-// generator regression cannot silently shrink coverage).
+// covers every distribution, shape, budget class, and estimate-error
+// class (asserted below, so a generator regression cannot silently
+// shrink coverage).
 func TestQuickCentralized(t *testing.T) {
 	seenDist := map[string]bool{}
-	budgeted := 0
-	for seed := int64(1); seed <= 60; seed++ {
+	seenShape := map[string]bool{}
+	budgeted, wrongEst := 0, 0
+	for seed := int64(1); seed <= 80; seed++ {
 		c := Generate(seed)
 		seenDist[c.Dist] = true
+		seenShape[c.Shape] = true
 		if c.Budget > 0 {
 			budgeted++
+		}
+		if c.EstFactor != 0 && c.EstFactor != 1 {
+			wrongEst++
 		}
 		if err := RunCentralized(c); err != nil {
 			t.Error(err)
@@ -41,8 +47,16 @@ func TestQuickCentralized(t *testing.T) {
 			t.Errorf("quick band never generated distribution %q", d)
 		}
 	}
+	for _, s := range Shapes {
+		if !seenShape[s] {
+			t.Errorf("quick band never generated shape %q", s)
+		}
+	}
 	if budgeted < 10 {
 		t.Errorf("quick band generated only %d budgeted cases", budgeted)
+	}
+	if wrongEst < 10 {
+		t.Errorf("quick band generated only %d wrong-estimate cases", wrongEst)
 	}
 }
 

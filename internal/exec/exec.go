@@ -41,6 +41,12 @@ type Executor struct {
 	// its own subdirectory.
 	SpillDir string
 
+	// fs intercepts run-file I/O inside the spill directory; nil means
+	// the real filesystem. Package-internal so only white-box tests can
+	// inject faults (spillfs.go); EnableNodes propagates it to the
+	// per-node executor views.
+	fs spillFS
+
 	// pin, when pinned, forces every task of this executor to run at one
 	// node — the per-node executor views a NodeSet hands out. Reads of
 	// blocks without a local replica are then metered remote instead of
@@ -172,6 +178,7 @@ func (e *Executor) joinRows(left, right []tuple.Tuple, lCol, rCol int, charge Jo
 		bCol, pCol = rCol, lCol
 		opts.BuildIsRight = true
 	}
+	opts.BuildRowsEst = len(build) // materialized input: the estimate is exact
 	return MustCollect(e.JoinOp(NewSource(build), bCol, NewSource(probe), pCol, opts))
 }
 
@@ -191,6 +198,7 @@ func (e *Executor) ShuffleJoinTables(left *core.Table, lPreds []predicate.Predic
 		bCol, pCol = rCol, lCol
 		opts.BuildIsRight = true
 	}
+	opts.BuildRowsEst = metaRows(build) // zone-map cardinality, pre-predicate
 	return MustCollect(e.JoinOp(e.ScanOp(build, bPreds), bCol, e.ScanOp(probe, pPreds), pCol, opts))
 }
 

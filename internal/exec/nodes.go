@@ -58,6 +58,7 @@ func (e *Executor) EnableNodes(workersPerNode int) *NodeSet {
 			NoPrune:  e.NoPrune,
 			Mem:      mems[i],
 			SpillDir: e.SpillDir,
+			fs:       e.fs,
 			pin:      dfs.NodeID(i),
 			pinned:   true,
 		})

@@ -27,12 +27,22 @@ type OpStats struct {
 	// SpilledBytes is what the operator wrote to disk run files under
 	// memory pressure (hash joins under a MemBudget); 0 everywhere else.
 	SpilledBytes int64
+	// SpillSkippedRows are probe rows whose spill write the operator's
+	// Bloom filters elided (budgeted hash joins); 0 everywhere else.
+	SpillSkippedRows int64
 }
 
 // byteSpiller is implemented by operators that can demote state to disk
 // (the budgeted hash join); Instrument surfaces the count in OpStats.
 type byteSpiller interface {
 	SpilledBytes() int64
+}
+
+// spillSkipper is implemented by operators whose Bloom filters can
+// elide spill writes (the budgeted hash join); Instrument surfaces the
+// count in OpStats.
+type spillSkipper interface {
+	SpillSkippedRows() int64
 }
 
 // Instrumented wraps an operator, counting batches/rows and timing
@@ -70,6 +80,9 @@ func (i *Instrumented) Stats() OpStats {
 	st := i.stats
 	if s, ok := i.child.(byteSpiller); ok {
 		st.SpilledBytes = s.SpilledBytes()
+	}
+	if s, ok := i.child.(spillSkipper); ok {
+		st.SpillSkippedRows = s.SpillSkippedRows()
 	}
 	return st
 }

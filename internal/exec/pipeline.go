@@ -459,19 +459,68 @@ type JoinOptions struct {
 	// BuildCharge / ProbeCharge meter the respective input's rows as
 	// they stream through the join.
 	BuildCharge, ProbeCharge JoinCharge
+	// BuildRowsEst is the planner's build-side cardinality estimate
+	// (zone-map row counts); 0 means unknown. It sizes the radix
+	// fan-out (pickRadixBits) and the Bloom filters of demoted
+	// partitions. Estimates steer only performance — a wrong one costs
+	// extra recursion or filter saturation, never correctness.
+	BuildRowsEst int
+	// DisableBloom turns off the Bloom filters on demoted partitions
+	// (every probe row of a spilled partition is then written, as in
+	// the classic Grace join) — the A/B knob the -spill bench and
+	// difftest use to isolate the filter's effect.
+	DisableBloom bool
 }
 
 // Radix partitioning constants for the parallel hash join: the top
-// joinRadixBits of a key's Hash64 pick its partition, leaving the low
+// radix bits of a key's Hash64 pick its partition, leaving the low
 // bits (which index the partition table's buckets) uniform within each
-// partition. 32 partitions oversplit the default worker pools (≤ ~10
-// workers) for load balance while keeping per-partition tables
-// cache-friendly.
+// partition. The default 32 partitions oversplit the default worker
+// pools (≤ ~10 workers) for load balance while keeping per-partition
+// tables cache-friendly; joins carrying a build-size estimate pick
+// their own fan-out in [minJoinRadixBits, maxJoinRadixBits] instead
+// (pickRadixBits).
 const (
-	joinRadixBits  = 5
-	joinPartitions = 1 << joinRadixBits
-	joinRadixShift = 64 - joinRadixBits
+	joinRadixBits    = 5
+	joinPartitions   = 1 << joinRadixBits
+	minJoinRadixBits = 2
+	maxJoinRadixBits = 8
 )
+
+// pickRadixBits selects the join's radix fan-out from the planner's
+// build-side estimate. Without an estimate the fixed default stands.
+// With one, a budgeted join targets partitions of about one eighth of
+// the memory budget: demotion then frees memory in fine steps (the
+// resident set can fill close to the limit before another victim goes
+// to disk), and second-pass loads are small enough that several run
+// concurrently under the byte semaphore instead of serializing on one
+// budget-sized load. Unbudgeted joins scale by rows alone (~16k rows
+// per partition). The clamp keeps any estimate error inside one extra
+// recursion level.
+func pickRadixBits(estRows int, limit int64) int {
+	if estRows <= 0 {
+		return joinRadixBits
+	}
+	var target int
+	if limit > 0 {
+		target = int(8 * int64(estRows) * estRowBytes / limit)
+	} else {
+		target = estRows >> 14
+	}
+	bits := minJoinRadixBits
+	for 1<<bits < target && bits < maxJoinRadixBits {
+		bits++
+	}
+	return bits
+}
+
+// estRowBytes approximates a row's in-memory footprint when only a row
+// count is known. Deliberately generous: real rows carry strings (TPC-H
+// orders average ~300 bytes), and the two failure directions are not
+// symmetric — overestimating splits a small build a little finer, which
+// costs almost nothing, while underestimating yields partitions that
+// dwarf the budget and a second pass with no load parallelism.
+const estRowBytes = 256
 
 // ChargeRows wraps an operator so every row flowing through it is
 // metered at the given rate — the virtual-shuffle accounting point. The
@@ -524,7 +573,12 @@ func (c *chargeOp) Close() error { return c.child.Close() }
 func (e *Executor) JoinOp(build Operator, buildCol int, probe Operator, probeCol int, opts JoinOptions) Operator {
 	build = ChargeRows(build, e.Meter, opts.BuildCharge)
 	probe = ChargeRows(probe, e.Meter, opts.ProbeCharge)
-	return &hashJoinOp{e: e, build: build, probe: probe, bCol: buildCol, pCol: probeCol, opts: opts}
+	bits := pickRadixBits(opts.BuildRowsEst, e.Mem.Limit())
+	return &hashJoinOp{
+		e: e, build: build, probe: probe, bCol: buildCol, pCol: probeCol, opts: opts,
+		radixBits: bits, radixShift: uint(64 - bits), nParts: 1 << bits,
+		parts: make([]*joinTable, 1<<bits),
+	}
 }
 
 type hashJoinOp struct {
@@ -533,7 +587,14 @@ type hashJoinOp struct {
 	bCol, pCol   int
 	opts         JoinOptions
 
-	parts     [joinPartitions]*joinTable
+	// radixBits/radixShift/nParts are the join's dynamic radix fan-out,
+	// fixed at construction (pickRadixBits) so build, probe, and spill
+	// recursion all agree on the partition function.
+	radixBits  int
+	radixShift uint
+	nParts     int
+
+	parts     []*joinTable
 	buildRows int
 	// spill is the hybrid-hash-join state, non-nil exactly when the
 	// executor carries a MemBudget; hasSpilled is frozen after the build
@@ -636,14 +697,14 @@ func (j *hashJoinOp) buildTables() error {
 	in := make(chan *Batch, w)
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
-		bufs[i] = make([]joinBuf, joinPartitions)
+		bufs[i] = make([]joinBuf, j.nParts)
 		wg.Add(1)
 		go func(id int, my []joinBuf) {
 			defer wg.Done()
 			var arena tuple.Arena
 			sp := j.spill
 			var spw *partSpiller
-			var myBytes [joinPartitions]int64
+			myBytes := make([]int64, j.nParts)
 			if sp != nil {
 				spw = sp.newPartSpiller(id, false)
 			}
@@ -659,7 +720,7 @@ func (j *hashJoinOp) buildTables() error {
 						continue // NULL never equals NULL in a join
 					}
 					h := key.Hash64()
-					p := int(h >> joinRadixShift)
+					p := int(h >> j.radixShift)
 					if sp != nil && sp.isSpilled(p) {
 						// Demoted partition: flush this worker's resident
 						// rows first (table and run file stay disjoint),
@@ -670,7 +731,7 @@ func (j *hashJoinOp) buildTables() error {
 							j.fail(err)
 							break
 						}
-						if err := spw.write(p, r, owned); err != nil {
+						if err := spw.write(p, h, r, owned); err != nil {
 							j.fail(err)
 							break
 						}
@@ -686,7 +747,7 @@ func (j *hashJoinOp) buildTables() error {
 					if sp != nil {
 						n := int64(r.MemBytes())
 						myBytes[p] += n
-						sp.partBytes[p].Add(n)
+						sp.noteBuildRow(p, h, n)
 						if sp.charge(n) {
 							sp.pressure()
 						}
@@ -761,7 +822,7 @@ func (j *hashJoinOp) buildTables() error {
 			srcs := make([]*joinBuf, w)
 			for {
 				p := int(next.Add(1) - 1)
-				if p >= joinPartitions {
+				if p >= j.nParts {
 					return
 				}
 				if j.spill != nil && j.spill.isSpilled(p) {
@@ -819,6 +880,7 @@ func (j *hashJoinOp) probeWorker(id int) {
 	if j.hasSpilled {
 		spw = j.spill.newPartSpiller(id, true)
 	}
+	skipped := int64(0)
 	for pb := range j.in {
 		if (j.buildRows == 0 && spw == nil) || j.failed.Load() {
 			pb.Release() // metered by the dispatcher; nothing can match
@@ -831,12 +893,18 @@ func (j *hashJoinOp) probeWorker(id int) {
 				continue // NULL never equals NULL in a join
 			}
 			h := key.Hash64()
-			part := int(h >> joinRadixShift)
+			part := int(h >> j.radixShift)
 			if spw != nil && j.spill.isSpilled(part) {
-				// The partition's build rows are on disk; park the probe
-				// row beside them for the second pass (copied when the
-				// batch owns it).
-				if err := spw.write(part, p, powned); err != nil {
+				// The partition's build rows are on disk. Ask its Bloom
+				// filter first: a negative is exact (the key matches no
+				// build row), so the probe row needs no spill round-trip
+				// at all. Otherwise park it beside the build runs for
+				// the second pass (copied when the batch owns it).
+				if bf := j.spill.bloomAt(part); bf != nil && !bf.mayContain(h) {
+					skipped++
+					continue
+				}
+				if err := spw.write(part, h, p, powned); err != nil {
 					j.fail(err)
 					break
 				}
@@ -868,6 +936,9 @@ func (j *hashJoinOp) probeWorker(id int) {
 		pb.Release()
 	}
 	if spw != nil {
+		if skipped > 0 {
+			j.spill.skipped.Add(skipped)
+		}
 		if err := spw.finish(); err != nil {
 			j.fail(err)
 		}
@@ -910,6 +981,11 @@ func (j *hashJoinOp) Next() (*Batch, error) {
 		if !j.metered {
 			j.metered = true
 			j.e.Meter.AddResultRows(int(j.results.Load()))
+			if j.spill != nil {
+				if n := j.spill.skipped.Load(); n > 0 {
+					j.e.Meter.AddSpillSkip(int(n))
+				}
+			}
 		}
 		return nil, nil
 	}

@@ -5,16 +5,35 @@
 // partition fits in RAM; one oversized build OOMs the whole session.
 // When the executor carries a MemBudget, the join becomes a classic
 // Grace/hybrid hash join instead: build rows charge the budget as they
-// accumulate, and on pressure the largest in-memory partition is
-// demoted to disk — its rows (and every later build or probe row that
-// hashes to it) stream into columnar run files under a temp dir, while
-// the surviving partitions keep the untouched in-memory fast path.
-// After the in-memory probe drains, a single-threaded second pass joins
-// each spilled partition from its run files: load-and-probe when the
-// partition fits the budget, recursive re-partitioning on the next
-// radix bit range when it does not, and a chunked build (multiple probe
-// passes) as the terminal fallback for partitions hash bits cannot
-// split — the all-duplicate-key case.
+// accumulate, and on pressure an in-memory partition is demoted to disk
+// — its rows (and every later build or probe row that hashes to it)
+// stream into columnar run files under a temp dir, while the surviving
+// partitions keep the untouched in-memory fast path. After the
+// in-memory probe drains, the second pass joins each spilled partition
+// from its run files: load-and-probe when either side fits the budget
+// (role reversal picks the smaller one), recursive re-partitioning on
+// the next radix bit range when neither does, and a chunked build
+// (multiple passes over the larger side) as the terminal fallback for
+// partitions hash bits cannot split — the all-duplicate-key case.
+//
+// Three defenses keep the join robust against bad inputs and bad
+// estimates (the trade-offs literature on dynamic hybrid hash joins):
+//
+//   - victim selection is scored, not largest-first: a partition's
+//     demotion score is bytes × distinctFrac, where distinctFrac is
+//     estimated from a 64-bit sample bitmap of its key hashes.
+//     Duplicate-heavy partitions — whose probe rows hit densely and
+//     would all pay the spill round-trip — score low and stay in
+//     memory; wide sparse partitions go to disk first.
+//   - each demoted partition gets a Bloom filter over its build-side
+//     key hashes. Probe rows whose key cannot match skip the spill
+//     write entirely (a negative is exact — every build row of a
+//     demoted partition funnels through the filter before the probe
+//     starts). Skips are metered as SpillSkippedRows.
+//   - the second pass re-checks both sides' run sizes before loading
+//     and swaps roles when the probe run is the smaller one, so a
+//     mis-estimated build side degrades into one extra comparison, not
+//     a recursive re-partitioning storm.
 package exec
 
 import (
@@ -23,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"os"
 	"path/filepath"
 	"sync"
@@ -39,7 +59,7 @@ const (
 	spillFrameRows = 256
 	// spillSubBits is the radix width of one recursive re-partitioning
 	// level: each level splits a spilled partition 16 ways on the next
-	// 4 hash bits below the joinRadixBits the first pass consumed.
+	// 4 hash bits below the radix bits the first pass consumed.
 	spillSubBits = 4
 	spillFanout  = 1 << spillSubBits
 	// maxSpillDepth bounds recursive re-partitioning. A partition still
@@ -66,10 +86,12 @@ type runFile struct {
 
 // runWriter streams rows into one run file, buffering spillFrameRows
 // copies and flushing them as a length-prefixed columnar frame
-// (tuple.AppendFrame). Rows are copied into the writer's arena at
+// (tuple.AppendFrame) through a bufio layer, so syscall count scales
+// with bytes, not frames. Rows are copied into the writer's arena at
 // append, so callers may hand over rows that die with their batch.
 type runWriter struct {
-	f     *os.File
+	f     io.WriteCloser
+	bw    *bufio.Writer
 	path  string
 	pend  []tuple.Tuple
 	arena tuple.Arena
@@ -77,12 +99,12 @@ type runWriter struct {
 	file  runFile
 }
 
-func newRunWriter(path string) (*runWriter, error) {
-	f, err := os.Create(path)
+func newRunWriter(fs spillFS, path string) (*runWriter, error) {
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	return &runWriter{f: f, path: path, file: runFile{path: path}}, nil
+	return &runWriter{f: f, bw: bufio.NewWriterSize(f, 1<<16), path: path, file: runFile{path: path}}, nil
 }
 
 // append buffers one row for the next frame. copyRow must be true when
@@ -111,10 +133,10 @@ func (w *runWriter) flush() error {
 		return err
 	}
 	n := binary.PutUvarint(hdr[:], uint64(len(frame)))
-	if _, err := w.f.Write(hdr[:n]); err != nil {
+	if _, err := w.bw.Write(hdr[:n]); err != nil {
 		return err
 	}
-	if _, err := w.f.Write(frame); err != nil {
+	if _, err := w.bw.Write(frame); err != nil {
 		return err
 	}
 	w.file.rows += int64(len(w.pend))
@@ -128,6 +150,11 @@ func (w *runWriter) flush() error {
 // totals. The writer is dead afterwards.
 func (w *runWriter) finish() (runFile, error) {
 	ferr := w.flush()
+	if ferr == nil {
+		ferr = w.bw.Flush()
+	} else {
+		w.bw.Flush()
+	}
 	cerr := w.f.Close()
 	if ferr != nil {
 		return w.file, ferr
@@ -136,12 +163,15 @@ func (w *runWriter) finish() (runFile, error) {
 }
 
 // eachRunFrame streams every frame of the given run files through fn in
-// file order. Frames decode into fresh storage, so fn may retain the
-// rows (the second pass builds tables from them).
-func eachRunFrame(files []runFile, fn func([]tuple.Tuple) error) error {
+// file order. With a nil scratch, frames decode into fresh storage and
+// fn may retain the rows (the second pass builds tables from them);
+// with a scratch, storage is reused across frames — allocation-free
+// streaming for fns that drop every row before returning (the probe
+// side of a spilled-partition join).
+func eachRunFrame(fs spillFS, files []runFile, sc *tuple.FrameScratch, fn func([]tuple.Tuple) error) error {
 	buf := make([]byte, 0, 1<<16)
 	for _, rf := range files {
-		f, err := os.Open(rf.path)
+		f, err := fs.Open(rf.path)
 		if err != nil {
 			return err
 		}
@@ -163,7 +193,12 @@ func eachRunFrame(files []runFile, fn func([]tuple.Tuple) error) error {
 				f.Close()
 				return fmt.Errorf("exec: run %s: %w", rf.path, err)
 			}
-			rows, _, err := tuple.DecodeFrame(buf)
+			var rows []tuple.Tuple
+			if sc != nil {
+				rows, _, err = sc.Decode(buf)
+			} else {
+				rows, _, err = tuple.DecodeFrame(buf)
+			}
 			if err != nil {
 				f.Close()
 				return fmt.Errorf("exec: run %s: %w", rf.path, err)
@@ -190,13 +225,15 @@ func sumRunBytes(files []runFile) int64 {
 	return n
 }
 
-func removeRuns(files []runFile) {
+func removeRuns(fs spillFS, files []runFile) {
 	for _, f := range files {
-		os.Remove(f.path)
+		fs.Remove(f.path)
 	}
 }
 
-// joinSpill is the shared spill state of one budgeted hashJoinOp.
+// joinSpill is the shared spill state of one budgeted hashJoinOp. All
+// per-partition slices are sized to the join's dynamic fan-out
+// (hashJoinOp.nParts).
 type joinSpill struct {
 	j *hashJoinOp
 
@@ -206,19 +243,32 @@ type joinSpill struct {
 
 	// spilled marks demoted partitions; set only during the build phase,
 	// frozen before the probe starts, so probe routing is consistent.
-	spilled [joinPartitions]atomic.Bool
+	spilled []atomic.Bool
 	// partBytes tracks the in-memory bytes each partition currently
 	// holds across all build workers — the victim-selection ranking and
 	// the "pending eviction" correction pressure() applies.
-	partBytes [joinPartitions]atomic.Int64
+	partBytes []atomic.Int64
+	// partRows / partSample feed victim scoring: row count plus a 64-bit
+	// bitmap sampling the low 6 bits of each key hash. popcount(sample)
+	// saturates at 64 and estimates key diversity — a partition holding
+	// one hot key sets one bit no matter how many rows it holds.
+	partRows   []atomic.Int64
+	partSample []atomic.Uint64
+	// blooms[p] is the Bloom filter over partition p's build-side key
+	// hashes, created before the spilled flag is published so any worker
+	// that observes the demotion also observes the filter. Nil when
+	// Bloom filtering is disabled or the partition never spilled.
+	blooms []atomic.Pointer[bloomFilter]
 
 	mu         sync.Mutex // victim selection + file registries
-	buildFiles [joinPartitions][]runFile
-	probeFiles [joinPartitions][]runFile
+	buildFiles [][]runFile
+	probeFiles [][]runFile
 
 	fileSeq      atomic.Int64
 	spilledRows  atomic.Int64
 	spilledBytes atomic.Int64
+	skipped      atomic.Int64 // probe rows the Bloom filter spared from spilling
+	reversals    atomic.Int64 // second-pass loads that swapped build/probe roles
 	memHeld      atomic.Int64 // net budget bytes this join has charged
 
 	// sem gates concurrent second-pass loads: fit decisions use the full
@@ -271,10 +321,28 @@ func (s *byteSem) release(n int64) {
 	s.cond.Broadcast()
 }
 
-func newJoinSpill(j *hashJoinOp) *joinSpill { return &joinSpill{j: j} }
+func newJoinSpill(j *hashJoinOp) *joinSpill {
+	n := j.nParts
+	return &joinSpill{
+		j:          j,
+		spilled:    make([]atomic.Bool, n),
+		partBytes:  make([]atomic.Int64, n),
+		partRows:   make([]atomic.Int64, n),
+		partSample: make([]atomic.Uint64, n),
+		blooms:     make([]atomic.Pointer[bloomFilter], n),
+		buildFiles: make([][]runFile, n),
+		probeFiles: make([][]runFile, n),
+	}
+}
+
+// fs returns the run-file filesystem (injectable for fault tests).
+func (sp *joinSpill) fs() spillFS { return sp.j.e.spillFS() }
 
 // tempDir lazily creates the join's spill directory — a join that never
-// exceeds its budget touches no filesystem at all.
+// exceeds its budget touches no filesystem at all. The directory itself
+// always comes from the real OS (the injected spillFS only mediates the
+// run files inside it), so Close's RemoveAll guarantee survives any
+// injected fault.
 func (sp *joinSpill) tempDir() (string, error) {
 	sp.dirOnce.Do(func() {
 		sp.dir, sp.dirErr = os.MkdirTemp(sp.j.e.SpillDir, "adaptdb-join-*")
@@ -283,6 +351,9 @@ func (sp *joinSpill) tempDir() (string, error) {
 }
 
 func (sp *joinSpill) isSpilled(p int) bool { return sp.spilled[p].Load() }
+
+// bloomAt returns partition p's Bloom filter, nil when none exists.
+func (sp *joinSpill) bloomAt(p int) *bloomFilter { return sp.blooms[p].Load() }
 
 func (sp *joinSpill) anySpilled() bool {
 	for p := range sp.spilled {
@@ -305,7 +376,68 @@ func (sp *joinSpill) release(n int64) {
 	sp.j.e.Mem.Release(n)
 }
 
-// pressure demotes in-memory partitions, largest first, until the
+// noteBuildRow records one retained build row in partition p's
+// victim-scoring stats: bytes, rows, and a sample bit keyed by the low
+// 6 hash bits (the high bits picked the partition and are constant
+// within it). The sample CAS is cheap — after the first 64-ish distinct
+// keys the load-check short-circuits every time.
+func (sp *joinSpill) noteBuildRow(p int, h uint64, n int64) {
+	sp.partBytes[p].Add(n)
+	sp.partRows[p].Add(1)
+	bit := uint64(1) << (h & 63)
+	for {
+		old := sp.partSample[p].Load()
+		if old&bit != 0 || sp.partSample[p].CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+// victimScore ranks partition p for demotion: resident bytes scaled by
+// estimated key diversity. A partition dominated by duplicate keys has
+// a near-zero diversity fraction — its probe rows hit densely, so
+// spilling it would round-trip the most matches through disk — while a
+// wide distinct-key partition scores near its full byte size. Any
+// partition with resident bytes scores > 0, so demotion always makes
+// progress.
+func (sp *joinSpill) victimScore(p int) float64 {
+	bytes := sp.partBytes[p].Load()
+	if bytes <= 0 {
+		return 0
+	}
+	rows := sp.partRows[p].Load()
+	if rows < 1 {
+		rows = 1
+	}
+	if rows > 64 {
+		rows = 64
+	}
+	distinct := bits.OnesCount64(sp.partSample[p].Load())
+	if distinct < 1 {
+		distinct = 1
+	}
+	return float64(bytes) * float64(distinct) / float64(rows)
+}
+
+// demote publishes partition p's demotion: Bloom filter first (sized
+// for the rows seen so far plus the planner's per-partition estimate,
+// whichever is larger), then the spilled flag, so observers of the flag
+// always see the filter.
+func (sp *joinSpill) demote(p int) {
+	if !sp.j.opts.DisableBloom {
+		est := sp.partRows[p].Load() * 2
+		if per := int64(sp.j.opts.BuildRowsEst / sp.j.nParts); per > est {
+			est = per
+		}
+		if est < 1024 {
+			est = 1024
+		}
+		sp.blooms[p].Store(newBloomFilter(int(est), defaultBloomFPR))
+	}
+	sp.spilled[p].Store(true)
+}
+
+// pressure demotes in-memory partitions, best score first, until the
 // budget would fit once pending evictions land. Demotion is a flag
 // flip: the bytes come back as each build worker flushes its share of
 // the victim to disk (evict), so the accounting subtracts every
@@ -322,19 +454,19 @@ func (sp *joinSpill) pressure() {
 		}
 	}
 	for mem.Used()-pending > mem.Limit() {
-		best, bestBytes := -1, int64(0)
+		best, bestScore := -1, 0.0
 		for p := range sp.spilled {
 			if !sp.spilled[p].Load() {
-				if n := sp.partBytes[p].Load(); n > bestBytes {
-					best, bestBytes = p, n
+				if s := sp.victimScore(p); s > bestScore {
+					best, bestScore = p, s
 				}
 			}
 		}
 		if best < 0 {
 			return // everything is spilled (or empty); nothing left to demote
 		}
-		sp.spilled[best].Store(true)
-		pending += bestBytes
+		sp.demote(best)
+		pending += sp.partBytes[best].Load()
 	}
 }
 
@@ -342,7 +474,7 @@ func (sp *joinSpill) pressure() {
 // meters the spill I/O.
 func (sp *joinSpill) noteRun(p int, probe bool, rf runFile) {
 	if rf.rows == 0 {
-		os.Remove(rf.path)
+		sp.fs().Remove(rf.path)
 		return
 	}
 	sp.mu.Lock()
@@ -388,7 +520,7 @@ type partSpiller struct {
 	side  string // "b" or "p"
 	id    int    // worker id, part of the file name
 	probe bool
-	wr    [joinPartitions]*runWriter
+	wr    []*runWriter
 }
 
 func (sp *joinSpill) newPartSpiller(id int, probe bool) *partSpiller {
@@ -396,10 +528,20 @@ func (sp *joinSpill) newPartSpiller(id int, probe bool) *partSpiller {
 	if probe {
 		side = "p"
 	}
-	return &partSpiller{sp: sp, side: side, id: id, probe: probe}
+	return &partSpiller{sp: sp, side: side, id: id, probe: probe, wr: make([]*runWriter, sp.j.nParts)}
 }
 
-func (s *partSpiller) write(p int, r tuple.Tuple, copyRow bool) error {
+// write spills one row of partition p under its key hash. Build-side
+// rows also land in the partition's Bloom filter — every spill write of
+// a demoted partition's build side passes through here (direct writes,
+// evictions, and leftover flushes alike), which is what makes a
+// negative filter answer exact.
+func (s *partSpiller) write(p int, h uint64, r tuple.Tuple, copyRow bool) error {
+	if !s.probe {
+		if bf := s.sp.bloomAt(p); bf != nil {
+			bf.add(h)
+		}
+	}
 	w := s.wr[p]
 	if w == nil {
 		dir, err := s.sp.tempDir()
@@ -407,7 +549,7 @@ func (s *partSpiller) write(p int, r tuple.Tuple, copyRow bool) error {
 			return err
 		}
 		name := fmt.Sprintf("%s-p%02d-w%02d-%d.run", s.side, p, s.id, s.sp.fileSeq.Add(1))
-		w, err = newRunWriter(filepath.Join(dir, name))
+		w, err = newRunWriter(s.sp.fs(), filepath.Join(dir, name))
 		if err != nil {
 			return err
 		}
@@ -446,7 +588,7 @@ func (s *partSpiller) evict(p int, buf *joinBuf, bytes *int64) error {
 		for i := range c {
 			// Buffered build rows are stable by construction (view rows
 			// or the worker's arena copies) — no re-copy on eviction.
-			if err := s.write(p, c[i].row, false); err != nil {
+			if err := s.write(p, c[i].hash, c[i].row, false); err != nil {
 				return err
 			}
 		}
@@ -469,7 +611,7 @@ func (s *partSpiller) evict(p int, buf *joinBuf, bytes *int64) error {
 // spilled set frozen.
 func (sp *joinSpill) flushLeftovers(bufs [][]joinBuf) error {
 	var spw *partSpiller
-	for p := 0; p < joinPartitions; p++ {
+	for p := 0; p < sp.j.nParts; p++ {
 		if !sp.spilled[p].Load() {
 			continue
 		}
@@ -488,7 +630,7 @@ func (sp *joinSpill) flushLeftovers(bufs [][]joinBuf) error {
 			}
 			for _, c := range buf.chunks {
 				for i := range c {
-					if err := spw.write(p, c[i].row, false); err != nil {
+					if err := spw.write(p, c[i].hash, c[i].row, false); err != nil {
 						return err
 					}
 				}
@@ -505,8 +647,8 @@ func (sp *joinSpill) flushLeftovers(bufs [][]joinBuf) error {
 // ---- second pass ----
 
 // spillEmit accumulates second-pass matches into output batches. The
-// second pass is single-threaded (it runs on the closer goroutine after
-// every probe worker has exited), so one pending batch suffices.
+// second pass runs one worker per spilled partition slot; each worker
+// owns its own spillEmit, so one pending batch per emitter suffices.
 type spillEmit struct {
 	j   *hashJoinOp
 	cur *Batch
@@ -562,7 +704,7 @@ func (j *hashJoinOp) secondPass() {
 		}
 	}
 	var parts []int
-	for p := 0; p < joinPartitions; p++ {
+	for p := 0; p < j.nParts; p++ {
 		if sp.isSpilled(p) {
 			parts = append(parts, p)
 		}
@@ -592,8 +734,8 @@ func (j *hashJoinOp) secondPass() {
 				}
 				build, probe := sp.takeFiles(parts[k])
 				if err := j.joinSpilled(0, build, probe, em, limit); err != nil {
-					removeRuns(build)
-					removeRuns(probe)
+					removeRuns(sp.fs(), build)
+					removeRuns(sp.fs(), probe)
 					if err != errSpillClosed {
 						j.fail(err)
 					}
@@ -606,49 +748,71 @@ func (j *hashJoinOp) secondPass() {
 	wg.Wait()
 }
 
-// joinSpilled joins one spilled partition:
+// joinSpilled joins one spilled partition. The load side is whichever
+// side's run files are smaller — when the probe runs undercut the build
+// runs, roles reverse (the classic dynamic-HHJ defense against a
+// mis-estimated build side) and the build rows stream instead:
 //
-//   - fits the budget → load the build rows into one table and stream
-//     the probe rows through it;
-//   - over budget with hash bits to spare → re-partition both sides
-//     16 ways on the next bit range and recurse;
+//   - the smaller side fits the budget → load it into one table and
+//     stream the other side through it;
+//   - neither side fits but hash bits remain → re-partition both sides
+//     16 ways on the next bit range and recurse (reversal is re-decided
+//     per sub-partition from actual sub-run sizes);
 //   - bits exhausted or maxSpillDepth reached → chunked build: the
-//     terminal fallback that loads budget-sized build chunks and
-//     re-streams the whole probe side per chunk (correct for any key
-//     distribution, including a single key repeated millions of times).
+//     terminal fallback that loads budget-sized chunks of the smaller
+//     side and re-streams the larger side per chunk (correct for any
+//     key distribution, including a single key repeated millions of
+//     times).
 func (j *hashJoinOp) joinSpilled(level int, build, probe []runFile, em *spillEmit, limit int64) error {
+	fs := j.spill.fs()
 	if len(build) == 0 || len(probe) == 0 {
-		removeRuns(build)
-		removeRuns(probe)
+		removeRuns(fs, build)
+		removeRuns(fs, probe)
 		return nil
 	}
-	shift := 64 - joinRadixBits - spillSubBits*(level+1)
+	load, stream := build, probe
+	loadCol, streamCol := j.bCol, j.pCol
+	reversed := false
+	if sumRunBytes(probe) < sumRunBytes(build) {
+		load, stream = probe, build
+		loadCol, streamCol = j.pCol, j.bCol
+		reversed = true
+	}
+	shift := 64 - j.radixBits - spillSubBits*(level+1)
 	switch {
-	case sumRunBytes(build) <= limit:
-		return j.loadAndProbe(build, probe, em)
+	case sumRunBytes(load) <= limit:
+		if reversed {
+			j.spill.reversals.Add(1)
+		}
+		return j.loadAndProbe(load, loadCol, stream, streamCol, reversed, em)
 	case level >= maxSpillDepth || shift < 0:
-		return j.chunkedJoin(build, probe, em, limit)
+		if reversed {
+			j.spill.reversals.Add(1)
+		}
+		return j.chunkedJoin(load, loadCol, stream, streamCol, reversed, em, limit)
 	default:
 		return j.repartition(level, shift, build, probe, em, limit)
 	}
 }
 
-// loadAndProbe is the happy second-pass path: the partition fits, so it
-// joins exactly like a first-pass partition — one table, one probe
-// stream.
-func (j *hashJoinOp) loadAndProbe(build, probe []runFile, em *spillEmit) error {
-	defer removeRuns(build)
-	defer removeRuns(probe)
+// loadAndProbe is the happy second-pass path: the load side fits, so
+// the partition joins exactly like a first-pass partition — one table,
+// one probe stream. reversed marks the table as holding probe-side rows
+// (role reversal), which only flips the emit orientation.
+func (j *hashJoinOp) loadAndProbe(load []runFile, loadCol int, stream []runFile, streamCol int, reversed bool, em *spillEmit) error {
+	fs := j.spill.fs()
+	defer removeRuns(fs, load)
+	defer removeRuns(fs, stream)
 	if sem := j.spill.sem; sem != nil {
-		granted := sem.acquire(sumRunBytes(build))
+		granted := sem.acquire(sumRunBytes(load))
 		defer sem.release(granted)
 	}
 	var buf joinBuf
 	held := int64(0)
 	defer func() { j.spill.release(held) }()
-	err := eachRunFrame(build, func(rows []tuple.Tuple) error {
+	err := eachRunFrame(fs, load, nil, func(rows []tuple.Tuple) error {
 		for _, r := range rows {
-			key := r[j.bCol]
+			key := r[loadCol]
 			buf.add(key.Hash64(), r)
 			n := int64(r.MemBytes())
 			held += n
@@ -659,17 +823,24 @@ func (j *hashJoinOp) loadAndProbe(build, probe []runFile, em *spillEmit) error {
 	if err != nil {
 		return err
 	}
-	ht := newJoinTable(j.bCol, &buf)
-	return eachRunFrame(probe, func(rows []tuple.Tuple) error {
-		for _, p := range rows {
-			key := p[j.pCol]
+	ht := newJoinTable(loadCol, &buf)
+	var sc tuple.FrameScratch // streamed rows die per frame: reuse storage
+	return eachRunFrame(fs, stream, &sc, func(rows []tuple.Tuple) error {
+		for _, sr := range rows {
+			key := sr[streamCol]
 			it := ht.lookup(key.Hash64(), key)
 			for {
-				b, ok := it.next()
+				tr, ok := it.next()
 				if !ok {
 					break
 				}
-				if err := em.emit(b, p); err != nil {
+				var err error
+				if reversed {
+					err = em.emit(sr, tr) // table holds probe rows
+				} else {
+					err = em.emit(tr, sr)
+				}
+				if err != nil {
 					return err
 				}
 			}
@@ -683,20 +854,23 @@ func (j *hashJoinOp) loadAndProbe(build, probe []runFile, em *spillEmit) error {
 // files are removed as soon as the sub-runs are written, so peak disk
 // stays ~2× the spilled data regardless of depth.
 func (j *hashJoinOp) repartition(level, shift int, build, probe []runFile, em *spillEmit, limit int64) error {
+	fs := j.spill.fs()
 	split := func(files []runFile, col int) ([][]runFile, error) {
-		defer removeRuns(files)
+		defer removeRuns(fs, files)
 		var wr [spillFanout]*runWriter
 		dir, err := j.spill.tempDir()
 		if err != nil {
 			return nil, err
 		}
-		err = eachRunFrame(files, func(rows []tuple.Tuple) error {
+		// No scratch: appended rows sit in the sub-writers' pending
+		// buffers past the frame that produced them.
+		err = eachRunFrame(fs, files, nil, func(rows []tuple.Tuple) error {
 			for _, r := range rows {
 				h := r[col].Hash64()
 				i := int((h >> uint(shift)) & (spillFanout - 1))
 				if wr[i] == nil {
 					name := fmt.Sprintf("sub-l%d-%d.run", level+1, j.spill.fileSeq.Add(1))
-					w, err := newRunWriter(filepath.Join(dir, name))
+					w, err := newRunWriter(fs, filepath.Join(dir, name))
 					if err != nil {
 						return err
 					}
@@ -724,33 +898,33 @@ func (j *hashJoinOp) repartition(level, shift int, build, probe []runFile, em *s
 				j.spill.spilledBytes.Add(rf.diskBytes)
 				j.e.Meter.AddSpill(int(rf.rows), int(rf.diskBytes))
 			} else {
-				os.Remove(rf.path)
+				fs.Remove(rf.path)
 			}
 		}
 		return out, err
 	}
 	subBuild, err := split(build, j.bCol)
 	if err != nil {
-		for _, fs := range subBuild {
-			removeRuns(fs)
+		for _, f := range subBuild {
+			removeRuns(fs, f)
 		}
 		return err
 	}
 	subProbe, err := split(probe, j.pCol)
 	if err != nil {
-		for _, fs := range subBuild {
-			removeRuns(fs)
+		for _, f := range subBuild {
+			removeRuns(fs, f)
 		}
-		for _, fs := range subProbe {
-			removeRuns(fs)
+		for _, f := range subProbe {
+			removeRuns(fs, f)
 		}
 		return err
 	}
 	for i := 0; i < spillFanout; i++ {
 		if err := j.joinSpilled(level+1, subBuild[i], subProbe[i], em, limit); err != nil {
 			for k := i + 1; k < spillFanout; k++ {
-				removeRuns(subBuild[k])
-				removeRuns(subProbe[k])
+				removeRuns(fs, subBuild[k])
+				removeRuns(fs, subProbe[k])
 			}
 			return err
 		}
@@ -758,14 +932,18 @@ func (j *hashJoinOp) repartition(level, shift int, build, probe []runFile, em *s
 	return nil
 }
 
-// chunkedJoin is the terminal fallback: build rows stream in
-// budget-sized chunks, and every chunk re-streams the entire probe
-// side. Each build row lands in exactly one chunk, so the output
-// multiset is exactly the join — only the probe I/O multiplies, which
-// is the price of a key distribution hashing cannot split.
-func (j *hashJoinOp) chunkedJoin(build, probe []runFile, em *spillEmit, limit int64) error {
-	defer removeRuns(build)
-	defer removeRuns(probe)
+// chunkedJoin is the terminal fallback: the load side streams in
+// budget-sized chunks, and every chunk re-streams the entire other
+// side. Each load row lands in exactly one chunk, so the output
+// multiset is exactly the join — only the streamed side's I/O
+// multiplies, which is the price of a key distribution hashing cannot
+// split. Role reversal applies here too: the chunks come from the
+// smaller side, so the re-streaming multiplier hits the side where it
+// costs least.
+func (j *hashJoinOp) chunkedJoin(load []runFile, loadCol int, stream []runFile, streamCol int, reversed bool, em *spillEmit, limit int64) error {
+	fs := j.spill.fs()
+	defer removeRuns(fs, load)
+	defer removeRuns(fs, stream)
 	if sem := j.spill.sem; sem != nil {
 		// Chunks grow to the full limit, so a chunked partition owns the
 		// whole budget for its duration.
@@ -774,21 +952,28 @@ func (j *hashJoinOp) chunkedJoin(build, probe []runFile, em *spillEmit, limit in
 	}
 	var buf joinBuf
 	held := int64(0)
+	var sc tuple.FrameScratch // streamed rows die per frame: reuse storage
 	probeChunk := func() error {
 		if buf.n == 0 {
 			return nil
 		}
-		ht := newJoinTable(j.bCol, &buf)
-		err := eachRunFrame(probe, func(rows []tuple.Tuple) error {
-			for _, p := range rows {
-				key := p[j.pCol]
+		ht := newJoinTable(loadCol, &buf)
+		err := eachRunFrame(fs, stream, &sc, func(rows []tuple.Tuple) error {
+			for _, sr := range rows {
+				key := sr[streamCol]
 				it := ht.lookup(key.Hash64(), key)
 				for {
-					b, ok := it.next()
+					tr, ok := it.next()
 					if !ok {
 						break
 					}
-					if err := em.emit(b, p); err != nil {
+					var err error
+					if reversed {
+						err = em.emit(sr, tr)
+					} else {
+						err = em.emit(tr, sr)
+					}
+					if err != nil {
 						return err
 					}
 				}
@@ -800,9 +985,9 @@ func (j *hashJoinOp) chunkedJoin(build, probe []runFile, em *spillEmit, limit in
 		held = 0
 		return err
 	}
-	err := eachRunFrame(build, func(rows []tuple.Tuple) error {
+	err := eachRunFrame(fs, load, nil, func(rows []tuple.Tuple) error {
 		for _, r := range rows {
-			key := r[j.bCol]
+			key := r[loadCol]
 			buf.add(key.Hash64(), r)
 			n := int64(r.MemBytes())
 			held += n
@@ -833,4 +1018,23 @@ func (j *hashJoinOp) SpilledBytes() int64 {
 		return 0
 	}
 	return j.spill.spilledBytes.Load()
+}
+
+// SpillSkippedRows reports the probe rows whose spill write the Bloom
+// filter proved unnecessary; planner instrumentation surfaces it as
+// OpStats.SpillSkippedRows.
+func (j *hashJoinOp) SpillSkippedRows() int64 {
+	if j.spill == nil {
+		return 0
+	}
+	return j.spill.skipped.Load()
+}
+
+// spillReversals reports how many second-pass loads swapped build and
+// probe roles (white-box test hook).
+func (j *hashJoinOp) spillReversals() int64 {
+	if j.spill == nil {
+		return 0
+	}
+	return j.spill.reversals.Load()
 }

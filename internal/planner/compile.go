@@ -95,13 +95,13 @@ func (r *Runner) compileJoin(j *Join, c *Compiled) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return r.compileSemiShuffle(c, build, j.LCol, rScan, j.RCol, false), nil
+		return r.compileSemiShuffle(c, build, r.estimateRows(j.Left), j.LCol, rScan, j.RCol, false), nil
 	case lIsScan:
 		build, err := r.compile(j.Right, c)
 		if err != nil {
 			return nil, err
 		}
-		return r.compileSemiShuffle(c, build, j.RCol, lScan, j.LCol, true), nil
+		return r.compileSemiShuffle(c, build, r.estimateRows(j.Right), j.RCol, lScan, j.LCol, true), nil
 	default:
 		// Two intermediates: both sub-DAGs stream into a pipelined hash
 		// join, charged at the cheaper intermediate-shuffle rate. Build
@@ -118,11 +118,15 @@ func (r *Runner) compileJoin(j *Join, c *Compiled) (exec.Operator, error) {
 		opts := exec.JoinOptions{BuildCharge: exec.ChargeIntermediate, ProbeCharge: exec.ChargeIntermediate}
 		build, probe := lOp, rOp
 		bCol, pCol := j.LCol, j.RCol
-		if r.estimateRows(j.Right) < r.estimateRows(j.Left) {
+		lEst, rEst := r.estimateRows(j.Left), r.estimateRows(j.Right)
+		bEst := lEst
+		if rEst < lEst {
 			build, probe = rOp, lOp
 			bCol, pCol = j.RCol, j.LCol
 			opts.BuildIsRight = true
+			bEst = rEst
 		}
+		opts.BuildRowsEst = r.estBuildRows(bEst)
 		fill := r.reportJoin(c, JoinReport{Strategy: StratShuffle}, nil)
 		op := r.Ex.JoinOp(build, bCol, probe, pCol, opts)
 		return r.instrument(c, "join[shuffle](intermediates)", op, fill), nil
@@ -151,9 +155,13 @@ func (r *Runner) reportJoin(c *Compiled, jr JoinReport, hyper *exec.HyperJoinOp)
 // shuffles and the table is read in place; otherwise the base table is
 // charged the full shuffle rate too. tblFirst reports that the base
 // table is the plan's left child (controls output column order).
-func (r *Runner) compileSemiShuffle(c *Compiled, build exec.Operator, buildCol int, sc *Scan, tblCol int, tblFirst bool) exec.Operator {
+func (r *Runner) compileSemiShuffle(c *Compiled, build exec.Operator, buildRows, buildCol int, sc *Scan, tblCol int, tblFirst bool) exec.Operator {
 	strategy := StratSemiShuffle
-	opts := exec.JoinOptions{BuildCharge: exec.ChargeIntermediate, BuildIsRight: tblFirst}
+	opts := exec.JoinOptions{
+		BuildCharge:  exec.ChargeIntermediate,
+		BuildIsRight: tblFirst,
+		BuildRowsEst: r.estBuildRows(buildRows),
+	}
 	if r.ForceShuffle || sc.Table.TreeFor(tblCol) < 0 {
 		// No tree on the join attribute: the base table shuffles too.
 		opts.ProbeCharge = exec.ChargeShuffle
@@ -233,11 +241,14 @@ func (r *Runner) shuffleRowsOp(lOp exec.Operator, lCol, lRows int, rOp exec.Oper
 	opts := exec.JoinOptions{BuildCharge: exec.ChargeShuffle, ProbeCharge: exec.ChargeShuffle}
 	build, probe := lOp, rOp
 	bCol, pCol := lCol, rCol
+	bRows := lRows
 	if rRows < lRows {
 		build, probe = rOp, lOp
 		bCol, pCol = rCol, lCol
 		opts.BuildIsRight = true
+		bRows = rRows
 	}
+	opts.BuildRowsEst = r.estBuildRows(bRows)
 	return r.Ex.JoinOp(build, bCol, probe, pCol, opts)
 }
 

@@ -201,17 +201,22 @@ func (r *Runner) distShuffleParts(c *Compiled, fill func(exec.OpStats), pair str
 	ns := r.Ex.Nodes()
 	build, probe := l, rt
 	bCol, pCol := lCol, rCol
+	bRows := lRows
 	flip := rRows < lRows
 	if flip {
 		build, probe = rt, l
 		bCol, pCol = rCol, lCol
+		bRows = rRows
 	}
 	bx := r.exchangeOf(ns, build, bCol)
 	px := r.exchangeOf(ns, probe, pCol)
 	parts := make([]exec.Operator, ns.N())
+	// A hash exchange deals the build roughly evenly, so each node's
+	// join sizes its fan-out for a 1/N share.
+	perNode := r.estBuildRows(bRows / ns.N())
 	for i := 0; i < ns.N(); i++ {
 		op := ns.At(i).JoinOp(bx.Output(i), bCol, px.Output(i), pCol,
-			exec.JoinOptions{BuildIsRight: flip})
+			exec.JoinOptions{BuildIsRight: flip, BuildRowsEst: perNode})
 		parts[i] = r.instrumentAt(c, i, "join[shuffle]("+pair+")", op, fill)
 	}
 	return parts
@@ -252,12 +257,15 @@ func (r *Runner) distBroadcastJoin(c *Compiled, build distOut, buildRows, buildC
 	}
 	fill := r.reportJoinAccum(c, JoinReport{Strategy: StratSemiShuffle}, nil)
 	parts := make([]exec.Operator, ns.N())
-	if buildRows <= refRows(r.scanRefs(sc)) {
+	tblRows := refRows(r.scanRefs(sc))
+	if buildRows <= tblRows {
 		bx := ns.Broadcast(build.toGlobal())
 		probe := r.distScan(c, sc)
+		// A broadcast build lands whole on every node — no 1/N share.
+		est := r.estBuildRows(buildRows)
 		for i := 0; i < ns.N(); i++ {
 			op := ns.At(i).JoinOp(bx.Output(i), buildCol, probe.parts[i], tblCol,
-				exec.JoinOptions{BuildIsRight: tblFirst})
+				exec.JoinOptions{BuildIsRight: tblFirst, BuildRowsEst: est})
 			parts[i] = r.instrumentAt(c, i, "join[semi-shuffle]("+sc.Table.Name+")", op, fill)
 		}
 		return distOut{parts: parts}
@@ -266,9 +274,10 @@ func (r *Runner) distBroadcastJoin(c *Compiled, build distOut, buildRows, buildC
 	// per-node scans and deal the intermediate across the nodes.
 	tx := ns.Broadcast(r.distScan(c, sc).toGlobal())
 	px := ns.Deal(build.toGlobal())
+	est := r.estBuildRows(tblRows)
 	for i := 0; i < ns.N(); i++ {
 		op := ns.At(i).JoinOp(tx.Output(i), tblCol, px.Output(i), buildCol,
-			exec.JoinOptions{BuildIsRight: !tblFirst})
+			exec.JoinOptions{BuildIsRight: !tblFirst, BuildRowsEst: est})
 		parts[i] = r.instrumentAt(c, i, "join[semi-shuffle]("+sc.Table.Name+")", op, fill)
 	}
 	return distOut{parts: parts}

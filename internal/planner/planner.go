@@ -59,6 +59,28 @@ type Runner struct {
 	// ForceShuffle disables hyper-join entirely (the "AdaptDB w/ Shuffle
 	// Join" and baseline configurations).
 	ForceShuffle bool
+	// EstScale multiplies every build-side cardinality estimate handed
+	// to the execution joins (JoinOptions.BuildRowsEst); 0 or 1 means
+	// exact. Difftest injects 10x errors in both directions through it
+	// to prove the dynamic fan-out degrades in speed only, never in
+	// correctness. Strategy costing (estimateHyper etc.) is not scaled —
+	// only what the joins size their partitions and Bloom filters with.
+	EstScale float64
+}
+
+// estBuildRows scales a build-side row estimate by the injected
+// estimate error. 0 stays 0 (unknown); known estimates stay ≥ 1.
+func (r *Runner) estBuildRows(rows int) int {
+	if rows <= 0 {
+		return 0
+	}
+	if r.EstScale > 0 && r.EstScale != 1 {
+		rows = int(float64(rows) * r.EstScale)
+		if rows < 1 {
+			rows = 1
+		}
+	}
+	return rows
 }
 
 // NewRunner builds a plan runner with the default budget.
@@ -140,7 +162,10 @@ const estRowBytes = 64
 // would pay under the executor's memory budget: the fraction of the
 // build that exceeds the budget spills, and the probe rows hashing to
 // spilled partitions spill with it (the second-pass pairing of the
-// hybrid hash join), each priced at SpillRowFactor per row.
+// hybrid hash join), each priced at SpillRowFactor per row. The probe
+// term is discounted by BloomSkipFrac — the share of those probe rows
+// the join's Bloom filters are expected to drop before the run-file
+// write; the build side always pays in full.
 func (r *Runner) spillEstimate(buildRows, probeRows int) float64 {
 	limit := r.Ex.MemLimit()
 	if limit <= 0 || buildRows == 0 {
@@ -151,7 +176,13 @@ func (r *Runner) spillEstimate(buildRows, probeRows int) float64 {
 		return 0
 	}
 	frac := 1 - float64(limit)/float64(bytes)
-	return r.Model.SpillRowFactor * frac * float64(buildRows+probeRows)
+	skip := r.Model.BloomSkipFrac
+	if skip < 0 {
+		skip = 0
+	} else if skip > 1 {
+		skip = 1
+	}
+	return r.Model.SpillRowFactor * frac * (float64(buildRows) + (1-skip)*float64(probeRows))
 }
 
 // residualShuffle prices one residual sub-join of a combination plan:

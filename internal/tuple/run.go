@@ -47,7 +47,30 @@ const frameLimit = 1 << 24
 // bytes consumed. Row storage is carved from one flat allocation per
 // frame; the returned tuples alias it but are capacity-clipped, so
 // appending to one allocates instead of clobbering its neighbour.
+// String payloads share one string copy of the frame bytes, so
+// retaining any single value keeps the whole frame's strings alive —
+// the right trade for run-file frames, which are loaded into tables
+// wholesale or dropped wholesale.
 func DecodeFrame(src []byte) ([]Tuple, int, error) {
+	return decodeFrame(src, nil)
+}
+
+// FrameScratch carries reusable decode storage for callers that drop
+// every row before decoding the next frame — the streamed side of a
+// spilled-partition join, where rows are probed and forgotten. Reuse
+// makes that path allocation-free for string-less rows.
+type FrameScratch struct {
+	flat Tuple
+	rows []Tuple
+}
+
+// Decode is DecodeFrame over the scratch's storage. The returned rows
+// are valid only until the next Decode on the same scratch.
+func (s *FrameScratch) Decode(src []byte) ([]Tuple, int, error) {
+	return decodeFrame(src, s)
+}
+
+func decodeFrame(src []byte, s *FrameScratch) ([]Tuple, int, error) {
 	nRows, n := binary.Uvarint(src)
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("tuple: frame: bad row count")
@@ -67,10 +90,36 @@ func DecodeFrame(src []byte) ([]Tuple, int, error) {
 	if nRows == 0 {
 		return nil, pos, nil
 	}
-	flat := make(Tuple, nRows*nCols)
+	nVals := int(nRows * nCols)
+	var flat Tuple
+	var rows []Tuple
+	if s != nil {
+		if cap(s.flat) < nVals {
+			s.flat = make(Tuple, nVals)
+		}
+		if cap(s.rows) < int(nRows) {
+			s.rows = make([]Tuple, nRows)
+		}
+		flat, rows = s.flat[:nVals], s.rows[:nRows]
+	} else {
+		flat = make(Tuple, nVals)
+		rows = make([]Tuple, nRows)
+	}
+	// One string copy of the frame backs every string payload
+	// (DecodeValuePooled); created lazily so all-numeric frames pay
+	// nothing. pool[i] corresponds to src[i], making offset slicing
+	// valid at any position.
+	pool := ""
 	for c := 0; c < int(nCols); c++ {
 		for r := 0; r < int(nRows); r++ {
-			v, vn, err := value.DecodeValue(src[pos:])
+			if pool == "" && pos < len(src) && value.Kind(src[pos]) == value.String {
+				pool = string(src)
+			}
+			var vpool string
+			if pool != "" {
+				vpool = pool[pos:]
+			}
+			v, vn, err := value.DecodeValuePooled(src[pos:], vpool)
 			if err != nil {
 				return nil, 0, fmt.Errorf("tuple: frame: row %d col %d: %w", r, c, err)
 			}
@@ -78,7 +127,6 @@ func DecodeFrame(src []byte) ([]Tuple, int, error) {
 			pos += vn
 		}
 	}
-	rows := make([]Tuple, nRows)
 	for r := range rows {
 		off := r * int(nCols)
 		rows[r] = flat[off : off+int(nCols) : off+int(nCols)]

@@ -139,3 +139,97 @@ func TestMemBytes(t *testing.T) {
 		t.Errorf("MemBytes = %d, want %d", got, 24+80+4)
 	}
 }
+
+// FrameScratch reuse must produce the same rows as fresh decodes and
+// must not allocate once warmed on string-free frames.
+func TestFrameScratchReuse(t *testing.T) {
+	frames := make([][]byte, 3)
+	want := make([][]Tuple, 3)
+	for f := range frames {
+		rows := make([]Tuple, 5+f)
+		for i := range rows {
+			rows[i] = Tuple{
+				value.NewInt(int64(f*100 + i)),
+				value.NewString("s" + string(rune('a'+f))),
+				value.NewFloat(float64(i) / 3),
+			}
+		}
+		enc, err := AppendFrame(nil, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[f], want[f] = enc, rows
+	}
+	var sc FrameScratch
+	for f, enc := range frames {
+		got, n, err := sc.Decode(enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("frame %d: n=%d err=%v", f, n, err)
+		}
+		if len(got) != len(want[f]) {
+			t.Fatalf("frame %d: %d rows, want %d", f, len(got), len(want[f]))
+		}
+		for i := range got {
+			for c := range got[i] {
+				if value.Compare(got[i][c], want[f][i][c]) != 0 {
+					t.Fatalf("frame %d row %d col %d = %v, want %v",
+						f, i, c, got[i][c], want[f][i][c])
+				}
+			}
+		}
+	}
+
+	// Warmed scratch over an int-only frame decodes allocation-free.
+	intRows := make([]Tuple, 64)
+	for i := range intRows {
+		intRows[i] = Tuple{value.NewInt(int64(i)), value.NewInt(int64(i * i))}
+	}
+	enc, err := AppendFrame(nil, intRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sc.Decode(enc); err != nil { // warm the storage
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := sc.Decode(enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed scratch decode of int frame: %v allocs/run, want 0", allocs)
+	}
+}
+
+// String payloads decoded from one frame share a single backing copy of
+// the frame bytes — one allocation per frame, not one per string.
+func TestFrameStringPooling(t *testing.T) {
+	rows := make([]Tuple, 100)
+	for i := range rows {
+		rows[i] = Tuple{value.NewString("payload-string-xxxxxxxxxxxxxxxx"), value.NewInt(int64(i))}
+	}
+	enc, err := AppendFrame(nil, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh-storage decode: flat values + row headers + one string pool.
+	// Without pooling this would be ≥ 100 string allocations.
+	allocs := testing.AllocsPerRun(20, func() {
+		got, _, err := DecodeFrame(enc)
+		if err != nil || len(got) != len(rows) {
+			t.Fatalf("rows=%d err=%v", len(got), err)
+		}
+	})
+	if allocs > 5 {
+		t.Fatalf("DecodeFrame of 100-string frame: %v allocs/run, want ≤5 (pooled)", allocs)
+	}
+	got, _, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i][0].S != rows[i][0].S {
+			t.Fatalf("row %d string = %q, want %q", i, got[i][0].S, rows[i][0].S)
+		}
+	}
+}

@@ -294,6 +294,19 @@ func (v Value) AppendBinary(dst []byte) []byte {
 // DecodeValue decodes a value previously produced by AppendBinary and
 // returns it together with the number of bytes consumed.
 func DecodeValue(src []byte) (Value, int, error) {
+	return decodeValue(src, "")
+}
+
+// DecodeValuePooled is DecodeValue for batch decoders that have already
+// made one string copy of the encoded bytes: pool must be that copy,
+// sliced to the same offset as src. String payloads alias pool instead
+// of allocating — one allocation per frame instead of one per string
+// value, which is most of the GC churn of a spilled-join read-back.
+func DecodeValuePooled(src []byte, pool string) (Value, int, error) {
+	return decodeValue(src, pool)
+}
+
+func decodeValue(src []byte, pool string) (Value, int, error) {
 	if len(src) == 0 {
 		return Value{}, 0, fmt.Errorf("value: decode: empty input")
 	}
@@ -322,6 +335,9 @@ func DecodeValue(src []byte) (Value, int, error) {
 		pos += n
 		if uint64(len(src)-pos) < l {
 			return Value{}, 0, fmt.Errorf("value: decode: short string payload (want %d have %d)", l, len(src)-pos)
+		}
+		if len(pool) >= pos+int(l) {
+			return Value{K: k, S: pool[pos : pos+int(l)]}, pos + int(l), nil
 		}
 		return Value{K: k, S: string(src[pos : pos+int(l)])}, pos + int(l), nil
 	default:
