@@ -16,9 +16,10 @@
 //	                                  # on per-node executors (-nodes N)
 //	adaptdb-bench -session -json      # per-operator records (BENCH_PR3.json)
 //	adaptdb-bench -spill -sf 0.1      # shuffle join across memory budgets
-//	                                  # {inf, 1/2, 1/8 build}; -json emits
-//	                                  # BENCH_PR6.json (self-gates on result
-//	                                  # checksums)
+//	                                  # {inf, 1/2, 1/8 build} × columnar/row
+//	                                  # paths × 1/4/8 nodes; -json emits
+//	                                  # BENCH_PR7.json (self-gates on result
+//	                                  # checksums and the columnar A/B)
 //	adaptdb-bench -mem 50000000 ...   # budget the -pipeline/-session runs
 package main
 
@@ -28,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -75,7 +77,7 @@ func main() {
 		fig      = flag.String("fig", "", "run a single experiment (e.g. fig12); empty = all")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		pipeline = flag.Bool("pipeline", false, "compare materialized vs pipelined executor paths and exit")
-		spill    = flag.Bool("spill", false, "sweep the shuffle join across memory budgets {inf, 1/2 build, 1/8 build} and exit (BENCH_PR6.json with -json)")
+		spill    = flag.Bool("spill", false, "sweep the shuffle join across memory budgets {inf, 1/2 build, 1/8 build}, columnar vs row paths, at 1/4/8 nodes unless -nodes is set, and exit (BENCH_PR7.json with -json)")
 		sess     = flag.Bool("session", false, "replay a join-attribute-shifting TPC-H stream through adaptive sessions (adaptation on vs off) and exit")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (implies -pipeline, or the session replay with -session); track results in BENCH_*.json")
 		sf       = flag.Float64("sf", 0, "TPC-H micro scale factor (default 0.002)")
@@ -86,8 +88,41 @@ func main() {
 		mem      = flag.Int64("mem", 0, "operator memory budget in bytes for -pipeline/-session runs (0 = unlimited; joins spill to disk run files beyond it)")
 		trips    = flag.Int("trips", 4000, "CMT trips for fig18")
 		ilpSteps = flag.Int64("ilp-steps", 0, "exact-search step cap for fig17")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file (pprof format)")
 	)
 	flag.Parse()
+
+	// Profile artifacts ride along with regression reports: when benchdiff
+	// flags a slowdown, the same command re-run with -cpuprofile hands the
+	// investigation a pprof file instead of a guess.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *sf > 0 {
@@ -112,7 +147,7 @@ func main() {
 	}
 
 	if *spill {
-		if err := runSpillBench(cfg, *jsonOut); err != nil {
+		if err := runSpillBench(cfg, *jsonOut, *nodes > 0); err != nil {
 			fmt.Fprintf(os.Stderr, "spill: %v\n", err)
 			os.Exit(1)
 		}

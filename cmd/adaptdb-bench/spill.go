@@ -3,8 +3,8 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"os"
+	"runtime"
 	"time"
 
 	"adaptdb/internal/cluster"
@@ -19,71 +19,124 @@ import (
 
 // spillRecord is one memory-budget point of the spill sweep. Checksum
 // is an order-independent digest of the result multiset: identical
-// checksums across budgets mean the spilling runs produced bit-
-// identical results to the unbudgeted one, which is the PR-5
-// acceptance gate (the bench exits non-zero on drift).
+// checksums across budgets AND across the columnar/row paths mean every
+// run produced bit-identical results to the unbudgeted columnar one —
+// the self-gate (the bench exits non-zero on drift).
 type spillRecord struct {
 	Op           string  `json:"op"`
+	Path         string  `json:"path"` // "columnar" | "row"
 	BudgetBytes  int64   `json:"budget_bytes"`
 	BudgetFrac   string  `json:"budget_frac"`
 	Rows         int     `json:"rows"`
 	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
 	SpilledBytes int64   `json:"spilled_bytes"`
 	SpillRows    int64   `json:"spill_rows"`
 	SkippedRows  int64   `json:"spill_skipped_rows"`
 	Checksum     string  `json:"checksum"`
 	VsUnbudgeted float64 `json:"vs_unbudgeted"`
+	// ColumnarSpeedup on a columnar record is row-path wall time over
+	// columnar wall time at the same budget — the A/B this PR tracks.
+	ColumnarSpeedup float64 `json:"columnar_speedup,omitempty"`
 }
 
-// spillReport is the machine-readable output of -spill -json — the
-// BENCH_PR6.json series. Disjoint holds the Bloom-filter A/B: the same
-// starved join probed with keys that match nothing, filters on vs off.
+// spillReport is one node count's sweep: every budget tier run through
+// both the columnar (default) and row execution paths, plus the
+// Bloom-filter disjoint-probe A/B from PR 6.
 type spillReport struct {
-	SF                 float64       `json:"sf"`
-	RowsPerBlock       int           `json:"rows_per_block"`
-	BatchSize          int           `json:"batch_size"`
+	Nodes              int           `json:"nodes"`
 	BuildRows          int           `json:"build_rows"`
 	BuildMemBytes      int64         `json:"build_mem_bytes"`
 	Results            []spillRecord `json:"results"`
 	ChecksumsEqual     bool          `json:"checksums_equal"`
+	ColumnarVsRowEqual bool          `json:"columnar_vs_row_equal"`
 	Disjoint           []spillRecord `json:"disjoint_probe"`
 	DisjointSpillSaved float64       `json:"disjoint_bloom_spill_saved"`
 }
 
+// spillSweepReport is the machine-readable output of -spill -json — the
+// BENCH_PR7.json series: one spillReport per simulated node count.
+type spillSweepReport struct {
+	SF           float64       `json:"sf"`
+	RowsPerBlock int           `json:"rows_per_block"`
+	BatchSize    int           `json:"batch_size"`
+	Sweeps       []spillReport `json:"sweeps"`
+}
+
 // runSpillBench sweeps the SF-scale lineitem ⋈ orders shuffle join
 // (build on orders, probe streamed) across memory budgets {∞, 1/2
-// build, 1/8 build}, streaming the output through an order-independent
-// checksum so no run materializes anything. Budgeted runs demote build
-// partitions to run files (the spilling hybrid hash join); the report
-// carries their spilled bytes and wall-time ratio against the
-// unbudgeted run.
-func runSpillBench(cfg experiments.Config, jsonOut bool) error {
+// build, 1/8 build} and across the columnar and row execution paths,
+// streaming the output through an order-independent checksum so no run
+// materializes anything. When the -nodes flag is unset the whole sweep
+// repeats at 1, 4 and 8 simulated nodes (the BENCH_PR7.json series);
+// an explicit -nodes N runs just that width.
+func runSpillBench(cfg experiments.Config, jsonOut, nodesSet bool) error {
 	ds := tpch.Generate(cfg.SF, cfg.Seed)
-	store := dfs.NewStore(cfg.Nodes, 3, cfg.Seed)
+	buildBytes := int64(0)
+	for _, r := range ds.Orders {
+		buildBytes += int64(r.MemBytes())
+	}
+	nodeCounts := []int{1, 4, 8}
+	if nodesSet {
+		nodeCounts = []int{cfg.Nodes}
+	}
+	sweep := spillSweepReport{
+		SF: cfg.SF, RowsPerBlock: cfg.RowsPerBlock, BatchSize: exec.DefaultBatchSize,
+	}
+	if !jsonOut {
+		fmt.Printf("spilling shuffle join sweep (SF=%.4g, build side %d rows ≈ %.1f MiB, columnar vs row)\n",
+			cfg.SF, len(ds.Orders), float64(buildBytes)/(1<<20))
+	}
+	for _, n := range nodeCounts {
+		rep, err := runSpillSweepAt(cfg, ds, n, buildBytes, jsonOut)
+		if err != nil {
+			return err
+		}
+		sweep.Sweeps = append(sweep.Sweeps, *rep)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sweep); err != nil {
+			return err
+		}
+	}
+	for _, rep := range sweep.Sweeps {
+		if !rep.ChecksumsEqual {
+			return fmt.Errorf("nodes=%d: budgeted results drifted from the unbudgeted run — spill path is WRONG", rep.Nodes)
+		}
+		if !rep.ColumnarVsRowEqual {
+			return fmt.Errorf("nodes=%d: columnar and row paths disagree — vectorized join is WRONG", rep.Nodes)
+		}
+		if rep.DisjointSpillSaved <= 0 {
+			return fmt.Errorf("nodes=%d: disjoint-probe A/B failed: bloom run must skip rows, spill fewer bytes, and match the no-bloom result", rep.Nodes)
+		}
+	}
+	if !jsonOut {
+		fmt.Printf("\nall budgets and both paths bit-identical at every node count\n")
+	}
+	return nil
+}
+
+// runSpillSweepAt runs one node count's budget × path sweep.
+func runSpillSweepAt(cfg experiments.Config, ds *tpch.Dataset, nodes int, buildBytes int64, jsonOut bool) (*spillReport, error) {
+	store := dfs.NewStore(nodes, 3, cfg.Seed)
 	line, err := core.Load(store, "lineitem", tpch.LineitemSchema, ds.Lineitem, core.LoadOptions{
 		RowsPerBlock: cfg.RowsPerBlock, Seed: cfg.Seed, JoinAttr: tpch.LOrderKey,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ord, err := core.Load(store, "orders", tpch.OrdersSchema, ds.Orders, core.LoadOptions{
 		RowsPerBlock: cfg.RowsPerBlock, Seed: cfg.Seed + 1, JoinAttr: tpch.OOrderKey,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	buildBytes := int64(0)
-	for _, r := range ds.Orders {
-		buildBytes += int64(r.MemBytes())
-	}
-	report := spillReport{
-		SF: cfg.SF, RowsPerBlock: cfg.RowsPerBlock, BatchSize: exec.DefaultBatchSize,
-		BuildRows: len(ds.Orders), BuildMemBytes: buildBytes,
-	}
+	report := &spillReport{Nodes: nodes, BuildRows: len(ds.Orders), BuildMemBytes: buildBytes}
 	if !jsonOut {
-		fmt.Printf("spilling shuffle join sweep (SF=%.4g, build side %d rows ≈ %.1f MiB)\n\n",
-			cfg.SF, len(ds.Orders), float64(buildBytes)/(1<<20))
-		fmt.Printf("%-24s %12s %12s %14s %10s %8s\n", "budget", "wall", "rows", "spilled", "checksum", "vs-inf")
+		fmt.Printf("\n--- %d node(s) ---\n%-28s %-9s %12s %12s %14s %10s %8s\n",
+			nodes, "budget", "path", "wall", "rows", "spilled", "checksum", "vs-inf")
 	}
 	budgets := []struct {
 		frac  string
@@ -96,50 +149,76 @@ func runSpillBench(cfg experiments.Config, jsonOut bool) error {
 	var baseNs int64
 	var baseSum string
 	for _, b := range budgets {
-		meter := &cluster.Meter{}
-		ex := exec.New(store, meter)
-		ex.Mem = exec.NewMemBudget(b.bytes)
-		op := ex.JoinOp(
-			ex.TableScanOp(ord, nil), tpch.OOrderKey,
-			ex.TableScanOp(line, nil), tpch.LOrderKey,
-			// The exact build cardinality, as the planner would thread it:
-			// sizes the dynamic radix fan-out and the spill Bloom filters.
-			exec.JoinOptions{BuildIsRight: true, BuildRowsEst: len(ds.Orders)},
-		)
-		start := time.Now()
-		rows, sum, err := checksumDrain(op)
-		wall := time.Since(start)
-		if err != nil {
-			return fmt.Errorf("budget %s: %w", b.frac, err)
+		var colNs int64
+		for _, rowPath := range []bool{false, true} {
+			meter := &cluster.Meter{}
+			ex := exec.New(store, meter)
+			ex.Mem = exec.NewMemBudget(b.bytes)
+			ex.DisableColumnar = rowPath
+			op := ex.JoinOp(
+				ex.TableScanOp(ord, nil), tpch.OOrderKey,
+				ex.TableScanOp(line, nil), tpch.LOrderKey,
+				// The exact build cardinality, as the planner would thread it:
+				// sizes the dynamic radix fan-out, the pre-sized hash tables
+				// and the spill Bloom filters.
+				exec.JoinOptions{BuildIsRight: true, BuildRowsEst: len(ds.Orders)},
+			)
+			var mBefore, mAfter runtime.MemStats
+			runtime.ReadMemStats(&mBefore)
+			start := time.Now()
+			rows, sum, err := checksumDrain(op)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&mAfter)
+			if err != nil {
+				return nil, fmt.Errorf("nodes=%d budget %s: %w", nodes, b.frac, err)
+			}
+			c := meter.Snapshot()
+			rec := spillRecord{
+				Op:           "spill-join/mem=" + b.frac,
+				Path:         "columnar",
+				BudgetBytes:  b.bytes,
+				BudgetFrac:   b.frac,
+				Rows:         rows,
+				NsPerOp:      wall.Nanoseconds(),
+				AllocsPerOp:  mAfter.Mallocs - mBefore.Mallocs,
+				SpilledBytes: int64(c.SpillBytes),
+				SpillRows:    int64(c.SpillRows),
+				SkippedRows:  int64(c.SpillSkippedRows),
+				Checksum:     sum,
+			}
+			if rowPath {
+				rec.Op += "/rowpath"
+				rec.Path = "row"
+			} else {
+				colNs = rec.NsPerOp
+			}
+			if b.frac == "inf" && !rowPath {
+				baseNs, baseSum = rec.NsPerOp, rec.Checksum
+				rec.VsUnbudgeted = 1
+			} else if baseNs > 0 {
+				rec.VsUnbudgeted = float64(rec.NsPerOp) / float64(baseNs)
+			}
+			report.Results = append(report.Results, rec)
+			if !jsonOut {
+				fmt.Printf("%-28s %-9s %12s %12d %14s %10s %7.2fx\n", rec.Op, rec.Path,
+					wall.Round(time.Millisecond), rows, fmtBytes(uint64(rec.SpilledBytes)), sum[:8], rec.VsUnbudgeted)
+			}
 		}
-		c := meter.Snapshot()
-		rec := spillRecord{
-			Op:           "spill-join/mem=" + b.frac,
-			BudgetBytes:  b.bytes,
-			BudgetFrac:   b.frac,
-			Rows:         rows,
-			NsPerOp:      wall.Nanoseconds(),
-			SpilledBytes: int64(c.SpillBytes),
-			SpillRows:    int64(c.SpillRows),
-			SkippedRows:  int64(c.SpillSkippedRows),
-			Checksum:     sum,
-		}
-		if b.frac == "inf" {
-			baseNs, baseSum = rec.NsPerOp, rec.Checksum
-			rec.VsUnbudgeted = 1
-		} else if baseNs > 0 {
-			rec.VsUnbudgeted = float64(rec.NsPerOp) / float64(baseNs)
-		}
-		report.Results = append(report.Results, rec)
-		if !jsonOut {
-			fmt.Printf("%-24s %12s %12d %14s %10s %7.2fx\n", rec.Op, wall.Round(time.Millisecond),
-				rows, fmtBytes(uint64(rec.SpilledBytes)), sum[:8], rec.VsUnbudgeted)
+		// Stamp the A/B ratio on the columnar record of this tier.
+		rowRec := &report.Results[len(report.Results)-1]
+		colRec := &report.Results[len(report.Results)-2]
+		if colNs > 0 {
+			colRec.ColumnarSpeedup = float64(rowRec.NsPerOp) / float64(colNs)
 		}
 	}
 	report.ChecksumsEqual = true
+	report.ColumnarVsRowEqual = true
 	for _, rec := range report.Results {
 		if rec.Checksum != baseSum || rec.Rows != report.Results[0].Rows {
 			report.ChecksumsEqual = false
+			if rec.Path == "row" {
+				report.ColumnarVsRowEqual = false
+			}
 		}
 	}
 
@@ -162,9 +241,6 @@ func runSpillBench(cfg experiments.Config, jsonOut bool) error {
 		nr[tpch.LOrderKey] = value.NewInt(maxKey + 1 + nr[tpch.LOrderKey].I)
 		disjoint[i] = nr
 	}
-	if !jsonOut {
-		fmt.Printf("\ndisjoint-key probe at mem=build/8 (%d probe rows, zero matches)\n\n", len(disjoint))
-	}
 	for _, noBloom := range []bool{false, true} {
 		meter := &cluster.Meter{}
 		ex := exec.New(store, meter)
@@ -182,11 +258,12 @@ func runSpillBench(cfg experiments.Config, jsonOut bool) error {
 			variant = "nobloom"
 		}
 		if err != nil {
-			return fmt.Errorf("disjoint %s: %w", variant, err)
+			return nil, fmt.Errorf("nodes=%d disjoint %s: %w", nodes, variant, err)
 		}
 		c := meter.Snapshot()
 		rec := spillRecord{
 			Op:           "disjoint-probe/mem=build/8/" + variant,
+			Path:         "columnar",
 			BudgetBytes:  buildBytes / 8,
 			BudgetFrac:   "build/8",
 			Rows:         rows,
@@ -198,7 +275,7 @@ func runSpillBench(cfg experiments.Config, jsonOut bool) error {
 		}
 		report.Disjoint = append(report.Disjoint, rec)
 		if !jsonOut {
-			fmt.Printf("%-32s %12s %8d rows %14s spilled %10d skipped\n", rec.Op,
+			fmt.Printf("%-38s %12s %8d rows %14s spilled %10d skipped\n", rec.Op,
 				wall.Round(time.Millisecond), rows, fmtBytes(uint64(rec.SpilledBytes)), rec.SkippedRows)
 		}
 	}
@@ -210,31 +287,21 @@ func runSpillBench(cfg experiments.Config, jsonOut bool) error {
 	if bloomOK {
 		report.DisjointSpillSaved = 1 - float64(ab[0].SpilledBytes)/float64(ab[1].SpilledBytes)
 	}
-
-	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
-			return err
-		}
-	}
-	if !report.ChecksumsEqual {
-		return fmt.Errorf("budgeted results drifted from the unbudgeted run — spill path is WRONG")
-	}
-	if !bloomOK {
-		return fmt.Errorf("disjoint-probe A/B failed: bloom run must skip rows, spill fewer bytes, and match the no-bloom result")
-	}
-	if !jsonOut {
-		fmt.Printf("\nall budgets bit-identical to the unbudgeted run; bloom saved %.0f%% of disjoint-probe spill bytes\n",
-			100*report.DisjointSpillSaved)
-	}
-	return nil
+	return report, nil
 }
+
+// fnv-1a constants for the streaming row digest.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
 // checksumDrain pulls an operator to exhaustion, folding every row's
 // binary encoding into an order-independent (commutative-sum) FNV
 // digest — result identity across nondeterministically ordered parallel
-// runs, with nothing materialized.
+// runs, with nothing materialized. Columnar batches are walked through
+// the vector encoder (byte-identical to the row encoding, see
+// Columns.AppendRowBinary) so draining them never boxes a value.
 func checksumDrain(op exec.Operator) (int, string, error) {
 	if err := op.Open(); err != nil {
 		return 0, "", err
@@ -243,6 +310,14 @@ func checksumDrain(op exec.Operator) (int, string, error) {
 	var sum uint64
 	var enc []byte
 	n := 0
+	fold := func(b []byte) {
+		h := uint64(fnvOffset64)
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= fnvPrime64
+		}
+		sum += h // commutative: batch order cannot matter
+	}
 	for {
 		b, err := op.Next()
 		if err != nil {
@@ -251,11 +326,21 @@ func checksumDrain(op exec.Operator) (int, string, error) {
 		if b == nil {
 			return n, fmt.Sprintf("%016x", sum), nil
 		}
-		for _, r := range b.Rows() {
-			enc = r.AppendBinary(enc[:0])
-			h := fnv.New64a()
-			h.Write(enc)
-			sum += h.Sum64() // commutative: batch order cannot matter
+		if cb := b.Cols(); cb != nil {
+			sel := cb.Sel()
+			for k := 0; k < cb.Len(); k++ {
+				i := k
+				if sel != nil {
+					i = int(sel[k])
+				}
+				enc = cb.AppendRowBinary(enc[:0], i)
+				fold(enc)
+			}
+		} else {
+			for _, r := range b.Rows() {
+				enc = r.AppendBinary(enc[:0])
+				fold(enc)
+			}
 		}
 		n += b.Len()
 		b.Release()

@@ -17,6 +17,13 @@
 // -max-ratio × baseline fails the build. Row-count mismatches against
 // the baseline always fail: a perf gate that lets results drift is
 // worse than none.
+//
+// Allocation counts gate independently of time: an op whose
+// allocs_per_op exceeds -max-allocs-ratio × baseline fails even when
+// its wall time passes, because host noise that hides a time regression
+// cannot hide a per-row allocation creeping back into a vectorized
+// path. Baselines below -min-allocs (or without alloc counts at all)
+// skip the allocs gate.
 package main
 
 import (
@@ -28,9 +35,21 @@ import (
 )
 
 type record struct {
-	Op      string `json:"op"`
-	Rows    int    `json:"rows"`
-	NsPerOp int64  `json:"ns_per_op"`
+	Op          string `json:"op"`
+	Rows        int    `json:"rows"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+}
+
+// gates bundles the thresholds compare applies. Time and allocation
+// regressions gate independently: allocations are far less noisy than
+// wall time, so their ratio can be tighter, but they need their own
+// floor — a 10-alloc op tripling is not a perf cliff.
+type gates struct {
+	maxRatio  float64 // fail when ns_per_op exceeds this multiple of baseline
+	minNs     int64   // baselines under this many ns are informational
+	maxAllocs float64 // fail when allocs_per_op exceeds this multiple of baseline
+	minAllocs uint64  // baselines under this many allocs skip the allocs gate
 }
 
 type report struct {
@@ -58,26 +77,41 @@ func load(path string) (map[string]record, []string, error) {
 }
 
 // minOverRuns folds several runs into the least-noisy observation per
-// op: the minimum ns_per_op (row counts ride along with the winning
-// run; they are identical across honest runs and the comparison flags
-// any drift).
+// op: the minimum ns_per_op and, independently, the minimum
+// allocs_per_op (a GC-triggered pool miss can inflate one run's allocs
+// just like the scheduler inflates its time). Row counts ride along
+// with the fastest run; they are identical across honest runs and the
+// comparison flags any drift.
 func minOverRuns(runs []map[string]record) map[string]record {
 	cur := map[string]record{}
 	for _, run := range runs {
 		for op, rec := range run {
-			if old, ok := cur[op]; !ok || rec.NsPerOp < old.NsPerOp {
+			old, ok := cur[op]
+			if !ok {
 				cur[op] = rec
+				continue
+			}
+			if rec.NsPerOp < old.NsPerOp {
+				rec.AllocsPerOp = min(rec.AllocsPerOp, old.AllocsPerOp)
+				cur[op] = rec
+			} else if rec.AllocsPerOp < old.AllocsPerOp {
+				old.AllocsPerOp = rec.AllocsPerOp
+				cur[op] = old
 			}
 		}
 	}
 	return cur
 }
 
-// compare applies the gate to every baseline op in order: row drift
-// always fails, ops under the noise floor are informational no matter
-// how slow, anything else fails past maxRatio. Returns the rendered
-// table lines and whether the gate tripped.
-func compare(base map[string]record, order []string, cur map[string]record, maxRatio float64, minNs int64) (lines []string, failed bool) {
+// compare applies the gates to every baseline op in order: row drift
+// always fails, ops under the time noise floor are informational no
+// matter how slow, anything else fails past maxRatio. Allocation counts
+// gate separately — an op can pass on time and still fail on allocs
+// (the vectorized paths exist to kill per-row allocation; time noise
+// must not mask its return). Baselines without alloc counts (older
+// reports, or ops below minAllocs) skip the allocs gate. Returns the
+// rendered table lines and whether any gate tripped.
+func compare(base map[string]record, order []string, cur map[string]record, g gates) (lines []string, failed bool) {
 	lines = append(lines, fmt.Sprintf("%-30s %12s %12s %7s %s", "op", "baseline", "current", "ratio", "verdict"))
 	for _, op := range order {
 		b := base[op]
@@ -93,11 +127,17 @@ func compare(base map[string]record, order []string, cur map[string]record, maxR
 		case c.Rows != b.Rows:
 			verdict = fmt.Sprintf("FAIL: rows %d != baseline %d", c.Rows, b.Rows)
 			failed = true
-		case b.NsPerOp < minNs:
+		case b.NsPerOp < g.minNs:
 			verdict = "info (below -min-ns)"
-		case ratio > maxRatio:
-			verdict = fmt.Sprintf("FAIL: > %.1fx", maxRatio)
+		case ratio > g.maxRatio:
+			verdict = fmt.Sprintf("FAIL: > %.1fx", g.maxRatio)
 			failed = true
+		}
+		if verdict == "ok" || verdict == "info (below -min-ns)" {
+			if b.AllocsPerOp >= g.minAllocs && float64(c.AllocsPerOp) > g.maxAllocs*float64(b.AllocsPerOp) {
+				verdict = fmt.Sprintf("FAIL: allocs %d > %.1fx baseline %d", c.AllocsPerOp, g.maxAllocs, b.AllocsPerOp)
+				failed = true
+			}
 		}
 		lines = append(lines, fmt.Sprintf("%-30s %12s %12s %6.2fx %s", op, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), ratio, verdict))
 	}
@@ -106,9 +146,11 @@ func compare(base map[string]record, order []string, cur map[string]record, maxR
 
 func main() {
 	var (
-		baseline = flag.String("baseline", "BENCH_PR4.json", "baseline report to compare against")
-		maxRatio = flag.Float64("max-ratio", 2.5, "fail when current ns_per_op exceeds this multiple of the baseline")
-		minNs    = flag.Int64("min-ns", 5_000_000, "ops with a baseline under this many ns are informational only")
+		baseline  = flag.String("baseline", "BENCH_PR4.json", "baseline report to compare against")
+		maxRatio  = flag.Float64("max-ratio", 2.5, "fail when current ns_per_op exceeds this multiple of the baseline")
+		minNs     = flag.Int64("min-ns", 5_000_000, "ops with a baseline under this many ns are informational only")
+		maxAllocs = flag.Float64("max-allocs-ratio", 2.0, "fail when current allocs_per_op exceeds this multiple of the baseline")
+		minAllocs = flag.Uint64("min-allocs", 10_000, "ops with a baseline under this many allocs skip the allocs gate")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -129,7 +171,10 @@ func main() {
 		}
 		runs = append(runs, run)
 	}
-	lines, failed := compare(base, order, minOverRuns(runs), *maxRatio, *minNs)
+	lines, failed := compare(base, order, minOverRuns(runs), gates{
+		maxRatio: *maxRatio, minNs: *minNs,
+		maxAllocs: *maxAllocs, minAllocs: *minAllocs,
+	})
 	for _, l := range lines {
 		fmt.Println(l)
 	}

@@ -7,8 +7,15 @@ import (
 	"testing"
 )
 
+// defGates mirrors the flag defaults.
+var defGates = gates{maxRatio: 2.5, minNs: 5_000_000, maxAllocs: 2.0, minAllocs: 10_000}
+
 func rec(op string, rows int, ns int64) record {
 	return record{Op: op, Rows: rows, NsPerOp: ns}
+}
+
+func recA(op string, rows int, ns int64, allocs uint64) record {
+	return record{Op: op, Rows: rows, NsPerOp: ns, AllocsPerOp: allocs}
 }
 
 func asMap(recs ...record) map[string]record {
@@ -37,12 +44,12 @@ func TestMinOfTwoFiltersSchedulerNoise(t *testing.T) {
 	if cur["join"].NsPerOp != 110_000_000 {
 		t.Fatalf("min-of-two kept %d, want the faster run", cur["join"].NsPerOp)
 	}
-	_, failed := compare(base, []string{"join"}, cur, 2.5, 5_000_000)
+	_, failed := compare(base, []string{"join"}, cur, defGates)
 	if failed {
 		t.Error("min-of-two should have filtered the noisy run")
 	}
 	// A single noisy run, by contrast, trips the gate.
-	_, failed = compare(base, []string{"join"}, minOverRuns([]map[string]record{run1}), 2.5, 5_000_000)
+	_, failed = compare(base, []string{"join"}, minOverRuns([]map[string]record{run1}), defGates)
 	if !failed {
 		t.Error("10x on the only run must fail")
 	}
@@ -53,7 +60,7 @@ func TestNoiseFloorIsInformationalOnly(t *testing.T) {
 	// micro-ops jitter too much on shared runners to gate on.
 	base := asMap(rec("tiny", 10, 1_000_000))
 	cur := asMap(rec("tiny", 10, 100_000_000))
-	lines, failed := compare(base, ops(rec("tiny", 0, 0)), cur, 2.5, 5_000_000)
+	lines, failed := compare(base, ops(rec("tiny", 0, 0)), cur, defGates)
 	if failed {
 		t.Error("op below the noise floor must never fail on time")
 	}
@@ -63,7 +70,7 @@ func TestNoiseFloorIsInformationalOnly(t *testing.T) {
 	// Exactly at the floor the gate applies again (< is the contract).
 	base = asMap(rec("at-floor", 10, 5_000_000))
 	cur = asMap(rec("at-floor", 10, 100_000_000))
-	if _, failed := compare(base, []string{"at-floor"}, cur, 2.5, 5_000_000); !failed {
+	if _, failed := compare(base, []string{"at-floor"}, cur, defGates); !failed {
 		t.Error("op at the floor with a 20x regression must fail")
 	}
 }
@@ -73,7 +80,7 @@ func TestRowDriftFailsEvenUnderNoiseFloor(t *testing.T) {
 	// mismatches fail regardless of timing noise.
 	base := asMap(rec("tiny", 10, 1_000_000))
 	cur := asMap(rec("tiny", 11, 900_000))
-	if _, failed := compare(base, []string{"tiny"}, cur, 2.5, 5_000_000); !failed {
+	if _, failed := compare(base, []string{"tiny"}, cur, defGates); !failed {
 		t.Error("row drift under the noise floor must still fail")
 	}
 }
@@ -81,7 +88,7 @@ func TestRowDriftFailsEvenUnderNoiseFloor(t *testing.T) {
 func TestMissingOpFails(t *testing.T) {
 	base := asMap(rec("join", 100, 100_000_000), rec("scan", 50, 80_000_000))
 	cur := asMap(rec("join", 100, 100_000_000))
-	lines, failed := compare(base, []string{"join", "scan"}, cur, 2.5, 5_000_000)
+	lines, failed := compare(base, []string{"join", "scan"}, cur, defGates)
 	if !failed {
 		t.Error("op missing from every run must fail")
 	}
@@ -95,8 +102,73 @@ func TestExtraOpsInRunsAreIgnored(t *testing.T) {
 	// fail the gate — only baseline ops are compared.
 	base := asMap(rec("join", 100, 100_000_000))
 	cur := asMap(rec("join", 100, 100_000_000), rec("brand-new", 7, 1))
-	if _, failed := compare(base, []string{"join"}, cur, 2.5, 5_000_000); failed {
+	if _, failed := compare(base, []string{"join"}, cur, defGates); failed {
 		t.Error("extra run-only ops must not trip the gate")
+	}
+}
+
+func TestAllocsGateIndependentOfTime(t *testing.T) {
+	// Wall time holds steady but allocations triple: the per-row boxing
+	// the columnar path eliminated has crept back, and time noise must
+	// not mask it. 2.0x is the contract; 3x fails.
+	base := asMap(recA("join", 100, 100_000_000, 50_000))
+	cur := asMap(recA("join", 100, 100_000_000, 150_000))
+	lines, failed := compare(base, []string{"join"}, cur, defGates)
+	if !failed {
+		t.Error("3x allocs at flat time must fail the allocs gate")
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "allocs") {
+		t.Error("allocs verdict missing from output")
+	}
+	// At exactly the ratio the gate holds (> is the contract)...
+	cur = asMap(recA("join", 100, 100_000_000, 100_000))
+	if _, failed := compare(base, []string{"join"}, cur, defGates); failed {
+		t.Error("exactly 2.0x allocs must pass")
+	}
+	// ...and a time pass plus allocs pass is clean.
+	cur = asMap(recA("join", 100, 110_000_000, 55_000))
+	if _, failed := compare(base, []string{"join"}, cur, defGates); failed {
+		t.Error("mild drift on both axes must pass")
+	}
+}
+
+func TestAllocsGateSkipsSmallAndAbsentBaselines(t *testing.T) {
+	// A 10-alloc op tripling is not a perf cliff: baselines under
+	// -min-allocs are exempt.
+	base := asMap(recA("tiny-allocs", 10, 50_000_000, 10))
+	cur := asMap(recA("tiny-allocs", 10, 50_000_000, 9_000))
+	if _, failed := compare(base, []string{"tiny-allocs"}, cur, defGates); failed {
+		t.Error("baseline below -min-allocs must skip the allocs gate")
+	}
+	// Baselines written before allocs_per_op existed decode as 0 and
+	// must not turn every run into a division-free failure.
+	base = asMap(rec("legacy", 10, 50_000_000))
+	cur = asMap(recA("legacy", 10, 50_000_000, 1_000_000))
+	if _, failed := compare(base, []string{"legacy"}, cur, defGates); failed {
+		t.Error("zero-alloc baseline (legacy report) must skip the allocs gate")
+	}
+}
+
+func TestAllocsGateAppliesUnderTimeNoiseFloor(t *testing.T) {
+	// The time noise floor exempts an op from the TIME gate only; a
+	// genuine allocation regression on a fast op still fails.
+	base := asMap(recA("fast", 10, 1_000_000, 500_000))
+	cur := asMap(recA("fast", 10, 1_500_000, 2_000_000))
+	if _, failed := compare(base, []string{"fast"}, cur, defGates); !failed {
+		t.Error("4x allocs must fail even below the time noise floor")
+	}
+}
+
+func TestMinOverRunsFoldsAllocsIndependently(t *testing.T) {
+	// Run 1: honest time, GC-inflated allocs. Run 2: noisy time, honest
+	// allocs. The fold must take the best of each axis, or one noisy
+	// axis per run would defeat the min-of-two protocol.
+	run1 := asMap(recA("join", 100, 100_000_000, 900_000))
+	run2 := asMap(recA("join", 100, 300_000_000, 50_000))
+	cur := minOverRuns([]map[string]record{run1, run2})
+	got := cur["join"]
+	if got.NsPerOp != 100_000_000 || got.AllocsPerOp != 50_000 {
+		t.Fatalf("fold kept ns=%d allocs=%d, want best of each axis", got.NsPerOp, got.AllocsPerOp)
 	}
 }
 
@@ -105,7 +177,7 @@ func TestLoadFixtureRoundTrip(t *testing.T) {
 	path := filepath.Join(dir, "run.json")
 	fixture := `{"results":[
 		{"op":"a","rows":1,"ns_per_op":10},
-		{"op":"b","rows":2,"ns_per_op":20},
+		{"op":"b","rows":2,"ns_per_op":20,"allocs_per_op":777},
 		{"op":"a","rows":9,"ns_per_op":99}
 	]}`
 	if err := os.WriteFile(path, []byte(fixture), 0o644); err != nil {
@@ -121,6 +193,12 @@ func TestLoadFixtureRoundTrip(t *testing.T) {
 	}
 	if m["a"].Rows != 9 {
 		t.Errorf("duplicate op should keep the last record, got %+v", m["a"])
+	}
+	if m["b"].AllocsPerOp != 777 {
+		t.Errorf("allocs_per_op not decoded: %+v", m["b"])
+	}
+	if m["a"].AllocsPerOp != 0 {
+		t.Errorf("absent allocs_per_op should decode to 0, got %+v", m["a"])
 	}
 	if _, _, err := load(filepath.Join(dir, "absent.json")); err == nil {
 		t.Error("missing file must error")

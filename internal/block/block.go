@@ -184,7 +184,9 @@ func Decode(src []byte, s *schema.Schema) (*Block, error) {
 		pos += n
 		t := make(tuple.Tuple, arity)
 		for c := range t {
-			v, vn, err := value.DecodeValue(src[pos:])
+			// Interned decode: repeated short strings (flags, modes, names)
+			// share one allocation across the whole decoded block set.
+			v, vn, err := value.DecodeValueInterned(src[pos:])
 			if err != nil {
 				return nil, fmt.Errorf("block: tuple %d col %d: %w", i, c, err)
 			}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"unsafe"
 
 	"adaptdb/internal/predicate"
 	"adaptdb/internal/schema"
@@ -183,6 +184,30 @@ func TestSerializeRoundTrip(t *testing.T) {
 	for c := 0; c < sch.NumCols(); c++ {
 		if value.Compare(got.Min(c), b.Min(c)) != 0 || value.Compare(got.Max(c), b.Max(c)) != 0 {
 			t.Errorf("zone map col %d differs after decode", c)
+		}
+	}
+}
+
+// TestDecodeInternsStrings pins the scan decode path's intern wiring:
+// the same short string decoded in many rows shares ONE backing
+// allocation, instead of one per occurrence.
+func TestDecodeInternsStrings(t *testing.T) {
+	b := New(sch)
+	for i := 0; i < 50; i++ {
+		b.Append(row(int64(i), 0, "DELIVER IN PERSON"))
+	}
+	got, err := Decode(b.AppendBinary(nil), sch)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	first := got.Tuples[0][2].S
+	for i := range got.Tuples {
+		s := got.Tuples[i][2].S
+		if s != "DELIVER IN PERSON" {
+			t.Fatalf("row %d decoded %q", i, s)
+		}
+		if unsafe.StringData(s) != unsafe.StringData(first) {
+			t.Fatalf("row %d's string has its own allocation — decode not interned", i)
 		}
 	}
 }

@@ -141,6 +141,34 @@ func BenchmarkShuffleJoinPipelined(b *testing.B) {
 	}
 }
 
+// benchSpillJoin is the shuffle join under a starved memory budget
+// (~1/8 of the SF 0.1 build side), the spilling hybrid hash join's hot
+// path, with the columnar/row switch exposed for A/B profiling.
+func benchSpillJoin(b *testing.B, rowPath bool) {
+	env := benchTables(b)
+	ex := benchExecutor(env)
+	ex.DisableColumnar = rowPath
+	ex.Mem = exec.NewMemBudget(6 << 20)
+	ex.SpillDir = b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := ex.JoinOp(
+			ex.TableScanOp(env.ord, nil), tpch.OOrderKey,
+			ex.TableScanOp(env.line, nil), tpch.LOrderKey,
+			exec.JoinOptions{BuildIsRight: true, BuildRowsEst: 150000},
+		)
+		n, err := exec.Count(op)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "rows")
+	}
+}
+
+func BenchmarkSpillJoinPipelined(b *testing.B)    { benchSpillJoin(b, false) }
+func BenchmarkSpillJoinPipelinedRow(b *testing.B) { benchSpillJoin(b, true) }
+
 func BenchmarkHyperJoinMaterialized(b *testing.B) {
 	env := benchTables(b)
 	ex := benchExecutor(env)

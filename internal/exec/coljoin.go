@@ -1,0 +1,743 @@
+// The columnar hash-join hot path: vectorized build, batch hashing,
+// kind-specialized probe, and gathered columnar emission.
+//
+// The row path (pipeline.go) partitions boxed tuples into per-worker
+// joinBufs and probes with value.Equal per candidate. This file is the
+// same join with the inner loops de-boxed:
+//
+//   - build workers transpose incoming batches into per-partition
+//     columnar stores (tuple.Columns), hashing key columns a batch at a
+//     time via Hash64Column;
+//   - sealing bulk-merges the worker stores into ONE global store plus
+//     per-partition chained hash tables over global row indices — match
+//     pairs from any partition can then gather from a single store;
+//   - probe workers compare keys flat (int64 ==, FloatEqual, byte
+//     equality) against the store's key vector, falling back to boxed
+//     compares only for mixed-kind columns;
+//   - matches accumulate as (build row, probe row) index pairs and are
+//     gathered column-at-a-time into columnar output batches.
+//
+// Spill interplay is unchanged: demoted partitions stream rows to the
+// same run files (materialized via RowTo), and the second pass joins
+// them row-wise exactly as before. Executor.DisableColumnar reverts
+// the whole join to the row path for A/B measurement.
+package exec
+
+import (
+	"sync"
+
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+// colBuf is one build worker's private slice of one partition: hashes
+// plus a columnar store, appended without locks. hint pre-sizes the
+// store from the planner's build estimate so steady growth doesn't pay
+// append-doubling garbage.
+type colBuf struct {
+	hashes []uint64
+	store  *tuple.Columns
+	hint   int
+}
+
+func (b *colBuf) init(ncols int) {
+	if b.store == nil {
+		b.store = tuple.NewColumns(ncols)
+		if b.hint > 0 {
+			b.store.Reserve(b.hint)
+			b.hashes = make([]uint64, 0, b.hint)
+		}
+	}
+}
+
+// addFrom retains physical row i of src (deep copy into the store).
+func (b *colBuf) addFrom(h uint64, src *tuple.Columns, i int) {
+	b.init(src.NumCols())
+	b.store.AppendRowFrom(src, i)
+	b.hashes = append(b.hashes, h)
+}
+
+// addRow retains one boxed row (deep copy — batch ownership is moot).
+func (b *colBuf) addRow(h uint64, r tuple.Tuple) {
+	b.init(len(r))
+	b.store.AppendRow(r)
+	b.hashes = append(b.hashes, h)
+}
+
+func (b *colBuf) len() int { return len(b.hashes) }
+
+// reset drops the rows but keeps capacity for the next eviction cycle.
+func (b *colBuf) reset() {
+	b.hashes = b.hashes[:0]
+	if b.store != nil {
+		b.store.Reset(b.store.NumCols())
+	}
+}
+
+// colPart is one radix partition's hash table over the global build
+// store: a bucket-headed chain keyed by hash, entries 1-based within
+// the partition's contiguous [base, base+n) row range.
+type colPart struct {
+	base    int32
+	buckets []int32 // 1-based entry index, 0 = empty
+	next    []int32 // chain links, 1-based, indexed by entry-1
+	mask    uint64
+}
+
+// colBuild is the sealed columnar build side: one global store, its row
+// hashes, and a chained table per partition. Sealed before the probe
+// phase starts; read-only (and so safely shared) afterwards.
+type colBuild struct {
+	store  *tuple.Columns
+	hashes []uint64
+	parts  []colPart
+	keyVec *tuple.ColVec // store.Col(bCol); nil while the store is empty
+}
+
+// buildTablesCol is buildTables for the columnar path: same worker
+// fan-out, same spill protocol, but batches transpose into columnar
+// stores and the key column hashes vectorized.
+func (j *hashJoinOp) buildTablesCol() error {
+	w := j.workerCount()
+	bufs := make([][]colBuf, w)
+	in := make(chan *Batch, w)
+	// Per-(worker, partition) share of the planner's build estimate; 0
+	// (no estimate) falls back to append growth.
+	hint := 0
+	if j.opts.BuildRowsEst > 0 {
+		hint = j.opts.BuildRowsEst / (w * j.nParts)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		bufs[i] = make([]colBuf, j.nParts)
+		for p := range bufs[i] {
+			bufs[i][p].hint = hint
+		}
+		wg.Add(1)
+		go func(id int, my []colBuf) {
+			defer wg.Done()
+			sp := j.spill
+			var spw *partSpiller
+			myBytes := make([]int64, j.nParts)
+			if sp != nil {
+				spw = sp.newPartSpiller(id, false)
+			}
+			var hv []uint64
+			for b := range in {
+				if j.failed.Load() {
+					b.Release()
+					continue // keep draining so the feeder never blocks
+				}
+				if cb := b.Cols(); cb != nil {
+					hv = cb.Hash64Column(j.bCol, hv)
+					n := cb.Len()
+					sel := cb.Sel()
+					for k := 0; k < n; k++ {
+						i := k
+						if sel != nil {
+							i = int(sel[k])
+						}
+						if cb.IsNull(j.bCol, i) {
+							continue // NULL never equals NULL in a join
+						}
+						h := hv[i]
+						p := int(h >> j.radixShift)
+						if sp != nil && sp.isSpilled(p) {
+							if err := spw.evictCol(p, &my[p], &myBytes[p]); err != nil {
+								j.fail(err)
+								break
+							}
+							if err := spw.writeCol(p, h, cb, i); err != nil {
+								j.fail(err)
+								break
+							}
+							continue
+						}
+						my[p].addFrom(h, cb, i)
+						if sp != nil {
+							nb := int64(cb.MemBytesRow(i))
+							myBytes[p] += nb
+							sp.noteBuildRow(p, h, nb)
+							if sp.charge(nb) {
+								sp.pressure()
+							}
+						}
+					}
+				} else {
+					for _, r := range b.Rows() {
+						key := r[j.bCol]
+						if key.IsNull() {
+							continue
+						}
+						h := key.Hash64()
+						p := int(h >> j.radixShift)
+						if sp != nil && sp.isSpilled(p) {
+							if err := spw.evictCol(p, &my[p], &myBytes[p]); err != nil {
+								j.fail(err)
+								break
+							}
+							if err := spw.write(p, h, r, b.OwnsRows()); err != nil {
+								j.fail(err)
+								break
+							}
+							continue
+						}
+						my[p].addRow(h, r)
+						if sp != nil {
+							nb := int64(r.MemBytes())
+							myBytes[p] += nb
+							sp.noteBuildRow(p, h, nb)
+							if sp.charge(nb) {
+								sp.pressure()
+							}
+						}
+					}
+				}
+				b.Release()
+			}
+			if spw != nil {
+				// Final sweep: partitions demoted after this worker last
+				// touched them still hold resident rows here.
+				for p := range my {
+					if sp.isSpilled(p) {
+						if err := spw.evictCol(p, &my[p], &myBytes[p]); err != nil {
+							j.fail(err)
+							break
+						}
+					}
+				}
+				if err := spw.finish(); err != nil {
+					j.fail(err)
+				}
+			}
+		}(i, bufs[i])
+	}
+	var err error
+	for {
+		b, berr := j.build.Next()
+		if berr != nil {
+			err = berr
+			break
+		}
+		if b == nil {
+			break
+		}
+		in <- b
+	}
+	close(in)
+	wg.Wait()
+	if cerr := j.build.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		j.werrMu.Lock()
+		err = j.werr
+		j.werrMu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	if j.spill != nil {
+		if err := j.spill.flushLeftoversCol(bufs); err != nil {
+			return err
+		}
+	}
+	j.sealColTables(bufs)
+	return nil
+}
+
+// sealColTables merges every worker's per-partition stores into one
+// global store (bulk column concatenation — flat memmoves for typed
+// vectors) and chains each partition's rows into its hash table.
+// Buckets are pre-sized from BuildRowsEst so a decent estimate means
+// the table is born at its final size. Runs single-threaded: the merge
+// is memmove-bound and partition chains index disjoint ranges.
+func (j *hashJoinOp) sealColTables(bufs [][]colBuf) {
+	cb := &colBuild{parts: make([]colPart, j.nParts)}
+	total, ncols := 0, 0
+	for wi := range bufs {
+		for p := range bufs[wi] {
+			b := &bufs[wi][p]
+			total += b.len()
+			if b.store != nil && b.store.NumCols() > 0 {
+				ncols = b.store.NumCols()
+			}
+		}
+	}
+	j.cbuild = cb
+	j.buildRows = total
+	if total == 0 {
+		return
+	}
+	store := tuple.NewColumns(ncols)
+	store.Reserve(total)
+	hashes := make([]uint64, 0, total)
+	perHint := 0
+	if j.opts.BuildRowsEst > 0 {
+		perHint = j.opts.BuildRowsEst >> uint(j.radixBits)
+	}
+	for p := 0; p < j.nParts; p++ {
+		base := len(hashes)
+		for wi := range bufs {
+			b := &bufs[wi][p]
+			if b.len() == 0 {
+				continue
+			}
+			store.AppendColumns(b.store)
+			hashes = append(hashes, b.hashes...)
+			b.reset()
+		}
+		n := len(hashes) - base
+		if n == 0 {
+			continue // empty or spilled partition: zero colPart, probe skips
+		}
+		nb := tableBuckets(n, perHint)
+		part := colPart{
+			base:    int32(base),
+			buckets: make([]int32, nb),
+			next:    make([]int32, n),
+			mask:    uint64(nb - 1),
+		}
+		for e := 0; e < n; e++ {
+			slot := hashes[base+e] & part.mask
+			part.next[e] = part.buckets[slot]
+			part.buckets[slot] = int32(e + 1)
+		}
+		cb.parts[p] = part
+	}
+	cb.store = store
+	cb.hashes = hashes
+	cb.keyVec = store.Col(j.bCol)
+}
+
+// evictCol flushes one build worker's resident columnar rows for a
+// freshly demoted partition into its run file — flat typed copies into
+// the writer's column buffer, no row materialized — and returns their
+// bytes to the budget.
+func (s *partSpiller) evictCol(p int, buf *colBuf, bytes *int64) error {
+	if buf.len() == 0 && *bytes == 0 {
+		return nil
+	}
+	for k, h := range buf.hashes {
+		if err := s.writeCol(p, h, buf.store, k); err != nil {
+			return err
+		}
+	}
+	buf.reset()
+	s.sp.partBytes[p].Add(-*bytes)
+	s.sp.release(*bytes)
+	*bytes = 0
+	return nil
+}
+
+// flushLeftoversCol is flushLeftovers for columnar build buffers: a
+// partition demoted after a worker's final sweep still holds rows in
+// that worker's store; flush them once the spilled set is frozen.
+func (sp *joinSpill) flushLeftoversCol(bufs [][]colBuf) error {
+	var spw *partSpiller
+	for p := 0; p < sp.j.nParts; p++ {
+		if !sp.spilled[p].Load() {
+			continue
+		}
+		if freed := sp.partBytes[p].Swap(0); freed != 0 {
+			sp.release(freed)
+		}
+		for wi := range bufs {
+			buf := &bufs[wi][p]
+			if buf.len() == 0 {
+				continue
+			}
+			if spw == nil {
+				spw = sp.newPartSpiller(len(bufs), false)
+			}
+			for k, h := range buf.hashes {
+				if err := spw.writeCol(p, h, buf.store, k); err != nil {
+					return err
+				}
+			}
+			buf.reset()
+		}
+	}
+	if spw != nil {
+		return spw.finish()
+	}
+	return nil
+}
+
+// colProbe is one probe worker's match accumulator: (build row, probe
+// row) index pairs, flushed into gathered columnar output batches.
+type colProbe struct {
+	j     *hashJoinOp
+	hv    []uint64
+	bIdxs []int32        // global rows in cbuild.store
+	pIdxs []int32        // physical rows in cols, or indices into rows
+	cols  *tuple.Columns // current probe batch, columnar form...
+	rows  []tuple.Tuple  // ...or row form
+	ok    bool           // false once the consumer closed the stream
+}
+
+func (st *colProbe) addPair(b, p int32) {
+	st.bIdxs = append(st.bIdxs, b)
+	st.pIdxs = append(st.pIdxs, p)
+	if len(st.bIdxs) >= DefaultBatchSize {
+		st.flush()
+	}
+}
+
+// flush gathers the accumulated pairs into one columnar output batch:
+// build columns from the global store, probe columns from the current
+// batch, each column copied in a monomorphic loop. Must run before the
+// probe batch is released — gathered output owns its storage, the pair
+// indices do not.
+func (st *colProbe) flush() {
+	n := len(st.bIdxs)
+	if n == 0 {
+		return
+	}
+	if !st.ok {
+		st.bIdxs, st.pIdxs = st.bIdxs[:0], st.pIdxs[:0]
+		return
+	}
+	j := st.j
+	bs := j.cbuild.store
+	nb := bs.NumCols()
+	np := 0
+	if st.cols != nil {
+		np = st.cols.NumCols()
+	} else if len(st.rows) > 0 {
+		np = len(st.rows[0])
+	}
+	out := NewColBatch(nb + np)
+	oc := out.Cols()
+	bOff, pOff := 0, nb
+	if j.opts.BuildIsRight {
+		bOff, pOff = np, 0
+	}
+	for c := 0; c < nb; c++ {
+		oc.AppendColumnGather(bOff+c, bs, c, st.bIdxs)
+	}
+	if st.cols != nil {
+		for c := 0; c < np; c++ {
+			oc.AppendColumnGather(pOff+c, st.cols, c, st.pIdxs)
+		}
+	} else {
+		for c := 0; c < np; c++ {
+			oc.AppendColumnValues(pOff+c, st.rows, c, st.pIdxs)
+		}
+	}
+	oc.AddRows(n)
+	st.bIdxs, st.pIdxs = st.bIdxs[:0], st.pIdxs[:0]
+	if !j.send(out) {
+		st.ok = false
+	}
+}
+
+// probeWorkerCol is the columnar probeWorker body: batches route
+// through kind-specialized probe loops and matches leave as gathered
+// columnar batches.
+func (j *hashJoinOp) probeWorkerCol(spw *partSpiller) {
+	st := &colProbe{j: j, ok: true}
+	skipped := int64(0)
+	for pb := range j.in {
+		if (j.buildRows == 0 && spw == nil) || j.failed.Load() {
+			pb.Release() // metered by the dispatcher; nothing can match
+			continue
+		}
+		if cb := pb.Cols(); cb != nil {
+			j.probeColsBatch(cb, st, spw, &skipped)
+		} else {
+			j.probeRowsBatch(pb, st, spw, &skipped)
+		}
+		// Gather pending pairs BEFORE the probe batch's storage recycles:
+		// pair indices address it, the gathered output does not.
+		st.flush()
+		st.cols, st.rows = nil, nil
+		pb.Release()
+		if !st.ok {
+			// Consumer closed (send failed): exit like the row path; the
+			// dispatcher releases remaining batches.
+			return
+		}
+	}
+	if spw != nil {
+		if skipped > 0 {
+			j.spill.skipped.Add(skipped)
+		}
+		if err := spw.finish(); err != nil {
+			j.fail(err)
+		}
+	}
+}
+
+// spillRouteCol parks one probe row of a spilled partition beside its
+// build runs (Bloom negatives skip the round-trip entirely). Reports
+// false when the write failed (error recorded).
+func (j *hashJoinOp) spillRouteCol(spw *partSpiller, st *colProbe, cb *tuple.Columns,
+	part int, h uint64, i int, skipped *int64) bool {
+	if bf := j.spill.bloomAt(part); bf != nil && !bf.mayContain(h) {
+		*skipped++
+		return true
+	}
+	if err := spw.writeCol(part, h, cb, i); err != nil {
+		j.fail(err)
+		return false
+	}
+	return true
+}
+
+// probeColsBatch probes one columnar batch. The key column is hashed
+// vectorized, then one of four loops runs depending on how the probe
+// key's storage lines up with the build key vector: flat int, flat
+// float, flat string, or generic boxed.
+func (j *hashJoinOp) probeColsBatch(cb *tuple.Columns, st *colProbe, spw *partSpiller, skipped *int64) {
+	st.cols, st.rows = cb, nil
+	st.hv = cb.Hash64Column(j.pCol, st.hv)
+	t := j.cbuild
+	kt := t.keyVec
+	kp := cb.Col(j.pCol)
+	switch {
+	case kt == nil:
+		// Empty resident store: only spill routing can matter.
+		if spw == nil {
+			return
+		}
+		j.probeColGeneric(cb, st, spw, skipped)
+	case kp.Boxed() == nil && kt.Boxed() == nil && kp.Kind() == kt.Kind() && value.IntClass(kt.Kind()):
+		j.probeColInts(cb, st, spw, skipped)
+	case kp.Boxed() == nil && kt.Boxed() == nil && kp.Kind() == kt.Kind() && kt.Kind() == value.Float:
+		j.probeColFloats(cb, st, spw, skipped)
+	case kp.Boxed() == nil && kt.Boxed() == nil && kp.Kind() == kt.Kind() && kt.Kind() == value.String:
+		j.probeColStrings(cb, st, spw, skipped)
+	default:
+		j.probeColGeneric(cb, st, spw, skipped)
+	}
+}
+
+func (j *hashJoinOp) probeColInts(cb *tuple.Columns, st *colProbe, spw *partSpiller, skipped *int64) {
+	t := j.cbuild
+	kp := cb.Col(j.pCol)
+	keys := kp.Ints()
+	bkeys := t.keyVec.Ints()
+	bh := t.hashes
+	hv := st.hv
+	sel := cb.Sel()
+	n := cb.Len()
+	hasNull := kp.Valid() != nil
+	for k := 0; k < n; k++ {
+		i := k
+		if sel != nil {
+			i = int(sel[k])
+		}
+		if hasNull && !kp.IsValid(i) {
+			continue
+		}
+		h := hv[i]
+		part := int(h >> j.radixShift)
+		if spw != nil && j.spill.isSpilled(part) {
+			if !j.spillRouteCol(spw, st, cb, part, h, i, skipped) {
+				return
+			}
+			continue
+		}
+		p := &t.parts[part]
+		if len(p.buckets) == 0 {
+			continue
+		}
+		key := keys[i]
+		for e := p.buckets[h&p.mask]; e != 0; {
+			g := p.base + e - 1
+			e = p.next[e-1]
+			if bh[g] == h && bkeys[g] == key {
+				st.addPair(g, int32(i))
+			}
+		}
+	}
+}
+
+func (j *hashJoinOp) probeColFloats(cb *tuple.Columns, st *colProbe, spw *partSpiller, skipped *int64) {
+	t := j.cbuild
+	kp := cb.Col(j.pCol)
+	keys := kp.Floats()
+	bkeys := t.keyVec.Floats()
+	bh := t.hashes
+	hv := st.hv
+	sel := cb.Sel()
+	n := cb.Len()
+	hasNull := kp.Valid() != nil
+	for k := 0; k < n; k++ {
+		i := k
+		if sel != nil {
+			i = int(sel[k])
+		}
+		if hasNull && !kp.IsValid(i) {
+			continue
+		}
+		h := hv[i]
+		part := int(h >> j.radixShift)
+		if spw != nil && j.spill.isSpilled(part) {
+			if !j.spillRouteCol(spw, st, cb, part, h, i, skipped) {
+				return
+			}
+			continue
+		}
+		p := &t.parts[part]
+		if len(p.buckets) == 0 {
+			continue
+		}
+		key := keys[i]
+		for e := p.buckets[h&p.mask]; e != 0; {
+			g := p.base + e - 1
+			e = p.next[e-1]
+			if bh[g] == h && value.FloatEqual(bkeys[g], key) {
+				st.addPair(g, int32(i))
+			}
+		}
+	}
+}
+
+func (j *hashJoinOp) probeColStrings(cb *tuple.Columns, st *colProbe, spw *partSpiller, skipped *int64) {
+	t := j.cbuild
+	kp := cb.Col(j.pCol)
+	keys := kp.Strs()
+	bkeys := t.keyVec.Strs()
+	bh := t.hashes
+	hv := st.hv
+	sel := cb.Sel()
+	n := cb.Len()
+	hasNull := kp.Valid() != nil
+	for k := 0; k < n; k++ {
+		i := k
+		if sel != nil {
+			i = int(sel[k])
+		}
+		if hasNull && !kp.IsValid(i) {
+			continue
+		}
+		h := hv[i]
+		part := int(h >> j.radixShift)
+		if spw != nil && j.spill.isSpilled(part) {
+			if !j.spillRouteCol(spw, st, cb, part, h, i, skipped) {
+				return
+			}
+			continue
+		}
+		p := &t.parts[part]
+		if len(p.buckets) == 0 {
+			continue
+		}
+		key := keys[i]
+		for e := p.buckets[h&p.mask]; e != 0; {
+			g := p.base + e - 1
+			e = p.next[e-1]
+			if bh[g] == h && bkeys[g] == key {
+				st.addPair(g, int32(i))
+			}
+		}
+	}
+}
+
+// probeColGeneric handles the rare shapes the flat loops can't: boxed
+// (mixed-kind) key vectors on either side, or kind mismatch between
+// probe and build keys (hash salts make cross-kind matches impossible,
+// but collisions still need an exact compare).
+func (j *hashJoinOp) probeColGeneric(cb *tuple.Columns, st *colProbe, spw *partSpiller, skipped *int64) {
+	t := j.cbuild
+	hv := st.hv
+	sel := cb.Sel()
+	n := cb.Len()
+	for k := 0; k < n; k++ {
+		i := k
+		if sel != nil {
+			i = int(sel[k])
+		}
+		if cb.IsNull(j.pCol, i) {
+			continue
+		}
+		h := hv[i]
+		part := int(h >> j.radixShift)
+		if spw != nil && j.spill.isSpilled(part) {
+			if !j.spillRouteCol(spw, st, cb, part, h, i, skipped) {
+				return
+			}
+			continue
+		}
+		if t.keyVec == nil {
+			continue
+		}
+		p := &t.parts[part]
+		if len(p.buckets) == 0 {
+			continue
+		}
+		key := cb.Value(j.pCol, i)
+		for e := p.buckets[h&p.mask]; e != 0; {
+			g := p.base + e - 1
+			e = p.next[e-1]
+			if t.hashes[g] == h && buildKeyEq(t.keyVec, g, key) {
+				st.addPair(g, int32(i))
+			}
+		}
+	}
+}
+
+// probeRowsBatch probes one row-shaped batch (cold operators upstream)
+// against the columnar store: boxed keys, flat table compares.
+func (j *hashJoinOp) probeRowsBatch(pb *Batch, st *colProbe, spw *partSpiller, skipped *int64) {
+	rows := pb.Rows()
+	st.cols, st.rows = nil, rows
+	t := j.cbuild
+	powned := pb.OwnsRows()
+	for ri := range rows {
+		key := rows[ri][j.pCol]
+		if key.IsNull() {
+			continue
+		}
+		h := key.Hash64()
+		part := int(h >> j.radixShift)
+		if spw != nil && j.spill.isSpilled(part) {
+			if bf := j.spill.bloomAt(part); bf != nil && !bf.mayContain(h) {
+				*skipped++
+				continue
+			}
+			if err := spw.write(part, h, rows[ri], powned); err != nil {
+				j.fail(err)
+				return
+			}
+			continue
+		}
+		if t.keyVec == nil {
+			continue
+		}
+		p := &t.parts[part]
+		if len(p.buckets) == 0 {
+			continue
+		}
+		for e := p.buckets[h&p.mask]; e != 0; {
+			g := p.base + e - 1
+			e = p.next[e-1]
+			if t.hashes[g] == h && buildKeyEq(t.keyVec, g, key) {
+				st.addPair(g, int32(ri))
+			}
+		}
+	}
+}
+
+// buildKeyEq compares build store row g's key against a boxed probe
+// key, with Equal's semantics (kinds must match; NaNs equal; ±0 equal).
+func buildKeyEq(kt *tuple.ColVec, g int32, key value.Value) bool {
+	if bx := kt.Boxed(); bx != nil {
+		return value.Equal(bx[g], key)
+	}
+	if !kt.IsValid(int(g)) {
+		return false // null build keys are never inserted, but stay exact
+	}
+	switch k := kt.Kind(); {
+	case value.IntClass(k):
+		return key.K == k && kt.Ints()[g] == key.I
+	case k == value.Float:
+		return key.K == value.Float && value.FloatEqual(kt.Floats()[g], key.F)
+	case k == value.String:
+		return key.K == value.String && kt.Str(int(g)) == key.S
+	default:
+		return false
+	}
+}

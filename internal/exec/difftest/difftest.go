@@ -30,6 +30,7 @@ import (
 	"adaptdb/internal/dfs"
 	"adaptdb/internal/exec"
 	"adaptdb/internal/planner"
+	"adaptdb/internal/predicate"
 	"adaptdb/internal/schema"
 	"adaptdb/internal/tuple"
 	"adaptdb/internal/value"
@@ -41,7 +42,11 @@ import (
 // disjoint key range — nearly every probe row of a spilled partition is
 // skippable, and the 20% overlap proves skipping never loses a real
 // match.
-var Dists = []string{"uniform", "skewed", "dup", "nullheavy", "sparse", "weird", "zipfdisjoint"}
+// dupstr forces a string key drawn from three hot values: long
+// duplicate chains through the string-specialized columnar probe loop
+// and the intern cache, with the chunked fallback in reach under tight
+// budgets.
+var Dists = []string{"uniform", "skewed", "dup", "nullheavy", "sparse", "weird", "zipfdisjoint", "dupstr"}
 
 // Shapes enumerates the relation-size shapes cases draw from. The heavy
 // shapes put three orders of magnitude between the sides, so budgeted
@@ -86,6 +91,9 @@ func Generate(seed int64) Case {
 	keyKind := kinds[rng.Intn(4)] // Int, Float, String, Date
 	if c.Dist == "weird" {
 		keyKind = value.Float // non-finite floats need a float key
+	}
+	if c.Dist == "dupstr" {
+		keyKind = value.String // hot duplicate chains need a string key
 	}
 	c.LSch, c.LCol = genSchema(rng, "l", keyKind)
 	c.RSch, c.RCol = genSchema(rng, "r", keyKind)
@@ -208,6 +216,10 @@ func genKey(rng *rand.Rand, dist string, kind value.Kind, keyRange int64) value.
 		} else {
 			k = keyRange + 1 + rng.Int63n(4*keyRange+1) // disjoint range
 		}
+	case "dupstr":
+		// Three hot string keys: every build partition is a long duplicate
+		// chain, and repeated headers exercise interned-string sharing.
+		return value.NewString("hot-duplicate-key-" + strconv.Itoa(rng.Intn(3)))
 	case "weird":
 		switch rng.Intn(6) {
 		case 0:
@@ -356,7 +368,85 @@ func RunCentralized(c Case) error {
 			return fmt.Errorf("%s: JoinOp[%s] leaked %d budget bytes", c, v.name, used)
 		}
 	}
+
+	// Columnar-source runs: the same join fed columnar batches (the
+	// vectorized probe's native input form), once on the columnar path
+	// and once forced onto the row path — the inputs then cross the
+	// row-view adapter seam — both against the same oracle.
+	opts := exec.JoinOptions{BuildRowsEst: c.estRows(len(c.Left))}
+	for _, rowPath := range []bool{false, true} {
+		name := "colsource"
+		if rowPath {
+			name = "colsource-rowpath"
+		}
+		store := dfs.NewStore(2, 1, c.Seed)
+		ex := exec.New(store, &cluster.Meter{})
+		ex.Mem = exec.NewMemBudget(c.Budget)
+		ex.DisableColumnar = rowPath
+		op := ex.JoinOp(exec.NewColSource(c.Left), c.LCol, exec.NewColSource(c.Right), c.RCol, opts)
+		got, err := exec.Collect(op)
+		if err != nil {
+			return fmt.Errorf("%s: JoinOp[%s]: %w", c, name, err)
+		}
+		if err := diffRows("JoinOp["+name+"]", got, oracle); err != nil {
+			return fmt.Errorf("%s: %w", c, err)
+		}
+		if used := ex.Mem.Used(); used != 0 {
+			return fmt.Errorf("%s: JoinOp[%s] leaked %d budget bytes", c, name, used)
+		}
+	}
+
+	// Selection-vector run: both inputs pass a Where whose survivors
+	// reach the join only through a sparse (possibly empty) selection
+	// vector over the columnar batches. The oracle filters with the same
+	// predicate, so NULL and non-finite comparison semantics cancel out.
+	if pivot, ok := keyPivot(c.Left, c.LCol); ok {
+		lPreds := []predicate.Predicate{predicate.NewCmp(c.LCol, predicate.LT, pivot)}
+		rPreds := []predicate.Predicate{predicate.NewCmp(c.RCol, predicate.LT, pivot)}
+		fOracle := exec.NestedLoopJoin(
+			filterRows(c.Left, lPreds), filterRows(c.Right, rPreds), c.LCol, c.RCol)
+		store := dfs.NewStore(2, 1, c.Seed)
+		ex := exec.New(store, &cluster.Meter{})
+		ex.Mem = exec.NewMemBudget(c.Budget)
+		op := ex.JoinOp(
+			exec.Where(exec.NewColSource(c.Left), lPreds), c.LCol,
+			exec.Where(exec.NewColSource(c.Right), rPreds), c.RCol, opts)
+		got, err := exec.Collect(op)
+		if err != nil {
+			return fmt.Errorf("%s: JoinOp[selfilter]: %w", c, err)
+		}
+		if err := diffRows("JoinOp[selfilter]", got, fOracle); err != nil {
+			return fmt.Errorf("%s: %w", c, err)
+		}
+		if used := ex.Mem.Used(); used != 0 {
+			return fmt.Errorf("%s: JoinOp[selfilter] leaked %d budget bytes", c, used)
+		}
+	}
 	return nil
+}
+
+// keyPivot picks a deterministic filter literal from the left side's
+// key column — the first non-NULL key at or past the midpoint — so
+// Where-filtered runs keep a data-dependent, usually sparse subset.
+func keyPivot(rows []tuple.Tuple, col int) (value.Value, bool) {
+	for off := range rows {
+		r := rows[(len(rows)/2+off)%len(rows)]
+		if !r[col].IsNull() {
+			return r[col], true
+		}
+	}
+	return value.Value{}, false
+}
+
+// filterRows is the oracle-side mirror of exec.Where.
+func filterRows(rows []tuple.Tuple, preds []predicate.Predicate) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, r := range rows {
+		if predicate.MatchesAll(preds, r) {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // RunDistributed loads the case's relations as tables over an
@@ -386,23 +476,34 @@ func RunDistributed(c Case, nodes int) error {
 	if err != nil {
 		return fmt.Errorf("%s: load right: %w", c, err)
 	}
-	ex := exec.New(store, &cluster.Meter{})
-	ex.Mem = exec.NewMemBudget(c.Budget)
-	ex.EnableNodes(1)
-	runner := planner.NewRunner(ex, cluster.Default())
-	runner.EstScale = c.EstFactor // inject the case's estimate error into every compiled join
 	plan := &planner.Join{
 		Left:  &planner.Scan{Table: lt},
 		Right: &planner.Scan{Table: rt},
 		LCol:  c.LCol, RCol: c.RCol,
 	}
-	got, _, err := runner.Run(plan)
-	if err != nil {
-		return fmt.Errorf("%s: nodes=%d: %w", c, nodes, err)
+	// Both execution paths run the same compiled DAG: the columnar
+	// default (vectorized scans, exchanges, and joins) and the forced
+	// row path, each against the oracle — so a divergence between the
+	// paths can never hide behind a shared wrong answer.
+	for _, rowPath := range []bool{false, true} {
+		label := fmt.Sprintf("distributed[nodes=%d]", nodes)
+		if rowPath {
+			label = fmt.Sprintf("distributed-rowpath[nodes=%d]", nodes)
+		}
+		ex := exec.New(store, &cluster.Meter{})
+		ex.Mem = exec.NewMemBudget(c.Budget)
+		ex.DisableColumnar = rowPath
+		ex.EnableNodes(1)
+		runner := planner.NewRunner(ex, cluster.Default())
+		runner.EstScale = c.EstFactor // inject the case's estimate error into every compiled join
+		got, _, err := runner.Run(plan)
+		if err != nil {
+			return fmt.Errorf("%s: %s: %w", c, label, err)
+		}
+		if err := diffRows(label, got, oracle); err != nil {
+			return fmt.Errorf("%s: %w", c, err)
+		}
+		ex.Nodes().Flush()
 	}
-	if err := diffRows(fmt.Sprintf("distributed[nodes=%d]", nodes), got, oracle); err != nil {
-		return fmt.Errorf("%s: %w", c, err)
-	}
-	ex.Nodes().Flush()
 	return nil
 }

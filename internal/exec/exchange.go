@@ -117,6 +117,17 @@ func (x *Exchange) build() {
 // channel. Only computed when the destination node carries a MemBudget.
 func batchMemBytes(b *Batch) int64 {
 	n := int64(0)
+	if cb := b.Cols(); cb != nil {
+		sel := cb.Sel()
+		for k, ln := 0, cb.Len(); k < ln; k++ {
+			i := k
+			if sel != nil {
+				i = int(sel[k])
+			}
+			n += int64(cb.MemBytesRow(i))
+		}
+		return n
+	}
 	for _, r := range b.rows {
 		n += int64(r.MemBytes())
 	}
@@ -155,6 +166,8 @@ func (x *Exchange) produce(in Operator, src int) {
 		meter = x.ns.shards[src]
 	}
 	pend := make([]*Batch, n)
+	var hv []uint64    // reused hash vector for columnar shuffle routing
+	var dIdx [][]int32 // reused per-destination gather lists
 	if err := in.Open(); err != nil {
 		x.fail(err)
 		return
@@ -170,6 +183,63 @@ func (x *Exchange) produce(in Operator, src int) {
 		}
 		if b == nil {
 			break
+		}
+		if cb := b.Cols(); cb != nil {
+			// Columnar batches route without materializing: the key column
+			// hashes vectorized (Hash64Column matches value.Hash64, so a
+			// row reaches the same node on either path), rows split into
+			// per-destination gather lists, and each list bulk-gathers
+			// column-at-a-time into the destination's pending batch.
+			ln := cb.Len()
+			sel := cb.Sel()
+			if dIdx == nil {
+				dIdx = make([][]int32, n)
+			}
+			switch {
+			case x.key == -1 || x.key == -2:
+				// Broadcast and deal move whole row sets: one gather list
+				// of every selected row, delivered to all nodes or one.
+				list := dIdx[0][:0]
+				for k := 0; k < ln; k++ {
+					i := k
+					if sel != nil {
+						i = int(sel[k])
+					}
+					list = append(list, int32(i))
+				}
+				dIdx[0] = list
+				if x.key == -2 {
+					d := int(x.deal % uint64(n))
+					x.deal++
+					x.packColGather(pend, d, cb, list, src, meter)
+				} else {
+					for d := 0; d < n; d++ {
+						x.packColGather(pend, d, cb, list, src, meter)
+					}
+				}
+			default:
+				hv = cb.Hash64Column(x.key, hv)
+				for k := 0; k < ln; k++ {
+					i := k
+					if sel != nil {
+						i = int(sel[k])
+					}
+					d := 0
+					if !cb.IsNull(x.key, i) {
+						d = int(hv[i] % uint64(n))
+					}
+					dIdx[d] = append(dIdx[d], int32(i))
+				}
+				for d := 0; d < n; d++ {
+					if len(dIdx[d]) == 0 {
+						continue
+					}
+					x.packColGather(pend, d, cb, dIdx[d], src, meter)
+					dIdx[d] = dIdx[d][:0]
+				}
+			}
+			b.Release()
+			continue
 		}
 		owned := b.OwnsRows()
 		switch {
@@ -214,6 +284,13 @@ func (x *Exchange) produce(in Operator, src int) {
 // full batches onto the destination channel.
 func (x *Exchange) pack(pend []*Batch, d int, r tuple.Tuple, owned bool, src int, meter meterSink) {
 	pb := pend[d]
+	if pb != nil && pb.Cols() != nil {
+		// Form flip: a row batch follows columnar packing (e.g. a spill
+		// second pass behind gathered first-pass output). Seal the pending
+		// columnar batch short rather than materializing it.
+		x.send(d, pb, src, meter)
+		pb = nil
+	}
 	if pb == nil {
 		pb = NewBatch()
 		pend[d] = pb
@@ -231,6 +308,41 @@ func (x *Exchange) pack(pend []*Batch, d int, r tuple.Tuple, owned bool, src int
 	}
 }
 
+// packColGather appends the listed physical rows of a columnar source
+// to destination d's pending columnar batch in capacity-sized chunks —
+// one bulk gather per column per chunk, string payloads shared, never
+// boxed. Safe across the source batch's Release: headers are copied
+// and payload bytes are immutable.
+func (x *Exchange) packColGather(pend []*Batch, d int, cb *tuple.Columns, idxs []int32, src int, meter meterSink) {
+	for len(idxs) > 0 {
+		pb := pend[d]
+		if pb != nil && pb.Cols() == nil {
+			x.send(d, pb, src, meter) // form flip, row → columnar
+			pb = nil
+		}
+		if pb == nil {
+			pb = NewColBatch(cb.NumCols())
+			pend[d] = pb
+		}
+		room := DefaultBatchSize - pb.Cols().FullLen()
+		if room <= 0 {
+			x.send(d, pb, src, meter)
+			pend[d] = nil
+			continue
+		}
+		take := len(idxs)
+		if take > room {
+			take = room
+		}
+		pb.AppendColGather(cb, idxs[:take])
+		idxs = idxs[take:]
+		if pb.Full() {
+			x.send(d, pb, src, meter)
+			pend[d] = nil
+		}
+	}
+}
+
 // meterSink is the single method exchanges need from a meter; it keeps
 // produce/pack testable and the accounting point explicit.
 type meterSink interface {
@@ -245,8 +357,12 @@ func (x *Exchange) send(d int, b *Batch, src int, meter meterSink) {
 	remote := src != d && x.ns.N() > 1
 	bytes := 0
 	if remote {
-		for _, r := range b.Rows() {
-			bytes += rowWireBytes(r)
+		if cb := b.Cols(); cb != nil {
+			bytes = colWireBytes(cb)
+		} else {
+			for _, r := range b.Rows() {
+				bytes += rowWireBytes(r)
+			}
 		}
 	}
 	meter.AddExchange(b.Len(), bytes, remote)
@@ -291,6 +407,42 @@ func rowWireBytes(r tuple.Tuple) int {
 		}
 	}
 	return n
+}
+
+// colWireBytes is rowWireBytes over a columnar batch: the same fixed
+// header per cell plus string payload lengths, summed column-at-a-time
+// (null cells hold zero-length headers, matching the row accounting).
+func colWireBytes(c *tuple.Columns) int {
+	ln := c.Len()
+	ncols := c.NumCols()
+	total := ln * 16 * ncols
+	sel := c.Sel()
+	for ci := 0; ci < ncols; ci++ {
+		v := c.Col(ci)
+		switch {
+		case v.Boxed() != nil:
+			bx := v.Boxed()
+			for k := 0; k < ln; k++ {
+				i := k
+				if sel != nil {
+					i = int(sel[k])
+				}
+				if bx[i].K == value.String {
+					total += len(bx[i].S)
+				}
+			}
+		case v.Kind() == value.String:
+			strs := v.Strs()
+			for k := 0; k < ln; k++ {
+				i := k
+				if sel != nil {
+					i = int(sel[k])
+				}
+				total += len(strs[i])
+			}
+		}
+	}
+	return total
 }
 
 // exchOut is one destination node's view of an exchange.

@@ -40,6 +40,10 @@ type Executor struct {
 	// directories ("" = the OS temp dir). Each join creates and removes
 	// its own subdirectory.
 	SpillDir string
+	// DisableColumnar reverts scans, filters and hash joins to the boxed
+	// row path (pre-columnar behavior) — the A/B knob the bench harness
+	// flips to measure the vectorized hot path against its baseline.
+	DisableColumnar bool
 
 	// fs intercepts run-file I/O inside the spill directory; nil means
 	// the real filesystem. Package-internal so only white-box tests can
@@ -122,15 +126,16 @@ func HashJoinRows(left, right []tuple.Tuple, lCol, rCol int) []tuple.Tuple {
 		bCol, pCol = rCol, lCol
 		swapped = true
 	}
-	var buf joinBuf
+	// The build side's size is exact here, so the incremental table is
+	// born at final size — zero rehash-grows by construction.
+	ht := newJoinTableCap(bCol, len(build))
 	for _, b := range build {
 		key := b[bCol]
 		if key.IsNull() {
 			continue // NULL never equals NULL in a join
 		}
-		buf.add(key.Hash64(), b)
+		ht.insert(key.Hash64(), b)
 	}
-	ht := newJoinTable(bCol, &buf)
 	var out []tuple.Tuple
 	var arena tuple.Arena
 	for _, p := range probe {

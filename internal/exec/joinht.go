@@ -65,6 +65,28 @@ type joinTable struct {
 	next    []int32
 	mask    uint64
 	col     int // key column of the build rows
+	grows   int // bucket-array rehashes since creation (incremental mode)
+}
+
+// tableBuckets picks a bucket count: the next power of two ≥ the known
+// row count n, raised toward the planner's estimate hint so a table
+// that will keep growing is born near its final size. The hint is
+// clamped to 4n — a wildly high estimate may only overshoot the
+// known-size table by one doubling, bounding wasted memory on
+// mispredictions (hint ≤ 0 means no estimate).
+func tableBuckets(n, hint int) int {
+	target := n
+	if hint > target {
+		if max := 4 * n; hint > max && max > 0 {
+			hint = max
+		}
+		target = hint
+	}
+	nb := 1
+	for nb < target {
+		nb <<= 1
+	}
+	return nb
 }
 
 // newJoinTable seals one or more accumulation buffers (the same radix
@@ -73,6 +95,13 @@ type joinTable struct {
 // friendly fraction of probe cost — and the bucket array is sized to the
 // next power of two ≥ the row count, for load factor ≤ 1.
 func newJoinTable(col int, parts ...*joinBuf) *joinTable {
+	return newJoinTableHint(col, 0, parts...)
+}
+
+// newJoinTableHint is newJoinTable with a planner row estimate: buckets
+// are sized from max(rows, clamped hint), so partitions sealed before
+// their siblings (or resealed after spill demotions) don't thrash.
+func newJoinTableHint(col, hint int, parts ...*joinBuf) *joinTable {
 	n := 0
 	for _, p := range parts {
 		n += p.n
@@ -87,10 +116,7 @@ func newJoinTable(col int, parts ...*joinBuf) *joinTable {
 			entries = append(entries, c...)
 		}
 	}
-	nb := 1
-	for nb < n {
-		nb <<= 1
-	}
+	nb := tableBuckets(n, hint)
 	t.entries = entries
 	t.buckets = make([]int32, nb)
 	t.next = make([]int32, n)
@@ -101,6 +127,51 @@ func newJoinTable(col int, parts ...*joinBuf) *joinTable {
 		t.buckets[b] = int32(i + 1)
 	}
 	return t
+}
+
+// newJoinTableCap returns an empty table ready for incremental insert,
+// with buckets pre-sized to 2× the capacity hint: any estimate within
+// 2× of the true row count (high or low) yields zero rehash-grows,
+// the property TestJoinTableCapNoGrow pins. Used by builders that
+// insert as rows arrive instead of sealing buffers (hyper-join groups,
+// the slice-API join).
+func newJoinTableCap(col, capHint int) *joinTable {
+	if capHint < 1 {
+		capHint = 1
+	}
+	nb := 1
+	for nb < 2*capHint {
+		nb <<= 1
+	}
+	return &joinTable{
+		col:     col,
+		entries: make([]joinEntry, 0, capHint),
+		buckets: make([]int32, nb),
+		next:    make([]int32, 0, capHint),
+		mask:    uint64(nb - 1),
+	}
+}
+
+// insert adds one build row to an incremental table, growing the bucket
+// array (rebuilding chains) when load factor exceeds 1. Callers must
+// skip null join keys. Only valid on tables from newJoinTableCap.
+func (t *joinTable) insert(h uint64, row tuple.Tuple) {
+	if len(t.entries) >= len(t.buckets) {
+		nb := len(t.buckets) * 2
+		t.buckets = make([]int32, nb)
+		t.mask = uint64(nb - 1)
+		t.next = t.next[:len(t.entries)]
+		for i := range t.entries {
+			b := t.entries[i].hash & t.mask
+			t.next[i] = t.buckets[b]
+			t.buckets[b] = int32(i + 1)
+		}
+		t.grows++
+	}
+	t.entries = append(t.entries, joinEntry{hash: h, row: row})
+	b := h & t.mask
+	t.next = append(t.next, t.buckets[b])
+	t.buckets[b] = int32(len(t.entries))
 }
 
 // len reports the number of build rows in the table.

@@ -193,3 +193,64 @@ func TestParallelJoinBuildProbeRace(t *testing.T) {
 		}
 	}
 }
+
+// TestJoinTableCapNoGrow pins the pre-sizing contract of incremental
+// tables: a planner estimate within 2x of the true build cardinality
+// (high or low) yields ZERO bucket-array rehash-grows, so a join with a
+// sane estimate never pays rehash cost. A badly low estimate must still
+// grow (and stay correct) rather than degrade to long chains.
+func TestJoinTableCapNoGrow(t *testing.T) {
+	const n = 1000
+	build := func(capHint int) *joinTable {
+		jt := newJoinTableCap(0, capHint)
+		for i := int64(0); i < n; i++ {
+			key := value.NewInt(i % 50)
+			jt.insert(key.Hash64(), jtRow(key, i))
+		}
+		return jt
+	}
+	for _, est := range []int{n / 2, n, 2 * n, 4 * n} {
+		if jt := build(est); jt.grows != 0 {
+			t.Errorf("estimate %d for %d rows: %d rehash-grows, want 0", est, n, jt.grows)
+		}
+	}
+	// 10x under-estimate: must grow, and lookups must survive the rehash.
+	jt := build(n / 10)
+	if jt.grows == 0 {
+		t.Fatalf("estimate %d for %d rows grew 0 times — load factor unbounded", n/10, n)
+	}
+	if jt.len() != n {
+		t.Fatalf("table has %d rows, want %d", jt.len(), n)
+	}
+	for k := int64(0); k < 50; k++ {
+		if got := len(drainMatches(jt, value.NewInt(k))); got != n/50 {
+			t.Fatalf("after rehash, key %d matched %d rows, want %d", k, got, n/50)
+		}
+	}
+}
+
+// TestJoinTableHintPresize covers the sealed-table variant: the bucket
+// array is sized from the planner hint (clamped to 4x the actual rows),
+// not just the sealed row count, so partitions sealed early don't start
+// undersized relative to what the estimate promised.
+func TestJoinTableHintPresize(t *testing.T) {
+	var buf joinBuf
+	for i := int64(0); i < 100; i++ {
+		key := value.NewInt(i)
+		buf.add(key.Hash64(), jtRow(key, i))
+	}
+	plain := newJoinTable(0, &buf)
+	hinted := newJoinTableHint(0, 300, &buf)
+	if len(hinted.buckets) < 300 {
+		t.Errorf("hint 300 sized %d buckets, want >= 300", len(hinted.buckets))
+	}
+	if len(plain.buckets) >= len(hinted.buckets) {
+		t.Errorf("hint had no effect: plain %d buckets, hinted %d", len(plain.buckets), len(hinted.buckets))
+	}
+	// The clamp: an absurd hint must not allocate more than 4x rows
+	// rounded up to a power of two.
+	huge := newJoinTableHint(0, 1<<20, &buf)
+	if len(huge.buckets) > 512 { // pow2 >= 4*100
+		t.Errorf("hint 1<<20 for 100 rows sized %d buckets, want <= 512", len(huge.buckets))
+	}
+}

@@ -46,6 +46,14 @@ type Batch struct {
 	// vals is the batch-owned value arena AppendConcat carves output
 	// rows from; it is recycled (uncleared) with the batch.
 	vals tuple.Tuple
+	// cols is the batch's columnar payload (typed vectors, validity
+	// bitmaps, selection vector — see tuple.Columns), live while colsOn
+	// is set. Columnar batches keep rows empty until a consumer asks for
+	// the row view; Rows() then materializes once and flips colsOn off.
+	// The Columns value is retained across pool cycles so its vectors
+	// recycle like the row arena does.
+	cols   *tuple.Columns
+	colsOn bool
 	// pooled marks batches whose backing array the pool owns. Batches
 	// that alias caller-provided slices (Source views) are never
 	// recycled, so releasing them cannot corrupt the source rows.
@@ -56,7 +64,28 @@ type Batch struct {
 
 // Rows returns the batch's rows. The slice is only valid until Release;
 // so are the rows themselves when OwnsRows reports true.
-func (b *Batch) Rows() []tuple.Tuple { return b.rows }
+//
+// On a columnar batch this is the adapter seam: the first call boxes
+// the selected rows into the batch's value arena (string payload bytes
+// are shared with the vectors' backing, never copied — only headers
+// move) and the batch behaves as an owned-row batch from then on. Cold
+// operators — Collect, sorts — keep working unchanged; hot operators
+// ask for Cols() first and never pay this.
+func (b *Batch) Rows() []tuple.Tuple {
+	if b.colsOn {
+		b.materializeRows()
+	}
+	return b.rows
+}
+
+// Cols returns the batch's live columnar payload, nil for row batches
+// (including columnar batches already materialized through Rows).
+func (b *Batch) Cols() *tuple.Columns {
+	if b.colsOn {
+		return b.cols
+	}
+	return nil
+}
 
 // OwnsRows reports whether the rows are carved from the batch's own
 // storage and become invalid at Release. Consumers that retain such
@@ -64,20 +93,110 @@ func (b *Batch) Rows() []tuple.Tuple { return b.rows }
 func (b *Batch) OwnsRows() bool { return b.owned }
 
 // Len returns the number of rows in the batch.
-func (b *Batch) Len() int { return len(b.rows) }
+func (b *Batch) Len() int {
+	if b.colsOn {
+		return b.cols.Len()
+	}
+	return len(b.rows)
+}
 
 // Full reports whether the batch reached its capacity.
-func (b *Batch) Full() bool { return len(b.rows) == cap(b.rows) }
+func (b *Batch) Full() bool {
+	if b.colsOn {
+		return b.cols.Len() >= DefaultBatchSize
+	}
+	return len(b.rows) == cap(b.rows)
+}
 
 // Append adds a row. Appending beyond capacity grows the batch rather
 // than failing; operators check Full() to keep batches fixed-size. A
 // pooled batch that grows is un-pooled first, so the pool never
-// accumulates oversized backing arrays.
+// accumulates oversized backing arrays. Appending a row to a columnar
+// batch materializes its row view first.
 func (b *Batch) Append(t tuple.Tuple) {
+	if b.colsOn {
+		b.materializeRows()
+	}
 	if b.pooled && len(b.rows) == cap(b.rows) {
 		b.pooled = false
 	}
 	b.rows = append(b.rows, t)
+}
+
+// AppendColRow adds one row to a columnar batch's vectors — the
+// transpose step scans and columnar sources use. Mirroring Append's
+// rule for row batches, growing the vectors past the standard batch
+// capacity un-pools the batch so the pool never accumulates oversized
+// vector storage (the columnar pool-poisoning defense; string payloads
+// are shared headers, so vectors never balloon on payload bytes).
+func (b *Batch) AppendColRow(t tuple.Tuple) {
+	if b.pooled && b.cols.FullLen() >= DefaultBatchSize {
+		b.pooled = false
+	}
+	b.cols.AppendRow(t)
+}
+
+// AppendColRowFrom appends physical row i of src to a columnar batch's
+// vectors — flat copies, string headers shared. Same un-pool rule as
+// AppendColRow.
+func (b *Batch) AppendColRowFrom(src *tuple.Columns, i int) {
+	if b.pooled && b.cols.FullLen() >= DefaultBatchSize {
+		b.pooled = false
+	}
+	b.cols.AppendRowFrom(src, i)
+}
+
+// AppendColGather bulk-appends the listed physical rows of src to a
+// columnar batch — one monomorphic gather loop per column, the exchange
+// repack path. Same un-pool rule as AppendColRow.
+func (b *Batch) AppendColGather(src *tuple.Columns, idxs []int32) {
+	if b.pooled && b.cols.FullLen()+len(idxs) > DefaultBatchSize {
+		b.pooled = false
+	}
+	for ci, ncols := 0, src.NumCols(); ci < ncols; ci++ {
+		b.cols.AppendColumnGather(ci, src, ci, idxs)
+	}
+	b.cols.AddRows(len(idxs))
+}
+
+// AppendColRows bulk-transposes rows into a columnar batch — the scan
+// path's block-at-a-time form of AppendColRow, with the same un-pool
+// rule for growth past the standard capacity.
+func (b *Batch) AppendColRows(rows []tuple.Tuple) {
+	if b.pooled && b.cols.FullLen()+len(rows) > DefaultBatchSize {
+		b.pooled = false
+	}
+	b.cols.AppendRows(rows)
+}
+
+// materializeRows converts the columnar payload into owned rows, once.
+func (b *Batch) materializeRows() {
+	c := b.cols
+	b.colsOn = false
+	b.owned = true
+	n := c.Len()
+	if n == 0 {
+		return
+	}
+	ncols := c.NumCols()
+	if need := n * ncols; cap(b.vals)-len(b.vals) < need {
+		b.vals = make(tuple.Tuple, 0, need)
+	}
+	if b.pooled && n > cap(b.rows) {
+		b.pooled = false
+	}
+	sel := c.Sel()
+	for k := 0; k < n; k++ {
+		i := k
+		if sel != nil {
+			i = int(sel[k])
+		}
+		off := len(b.vals)
+		for ci := 0; ci < ncols; ci++ {
+			b.vals = append(b.vals, c.Value(ci, i))
+		}
+		b.rows = append(b.rows, b.vals[off:off+ncols:off+ncols])
+	}
 }
 
 // AppendConcat carves x‖y into the batch's own value arena and appends
@@ -118,6 +237,23 @@ func NewBatch() *Batch {
 	b := batchPool.Get().(*Batch)
 	b.rows = b.rows[:0]
 	b.owned = false
+	b.colsOn = false
+	return b
+}
+
+// NewColBatch returns an empty pooled batch in columnar form with ncols
+// columns. Columnar batches always own their storage (vectors and
+// string arenas die at Release), so OwnsRows reports true from birth.
+func NewColBatch(ncols int) *Batch {
+	b := batchPool.Get().(*Batch)
+	b.rows = b.rows[:0]
+	b.owned = true
+	if b.cols == nil {
+		b.cols = tuple.NewColumns(ncols)
+	} else {
+		b.cols.Reset(ncols)
+	}
+	b.colsOn = true
 	return b
 }
 
@@ -130,6 +266,7 @@ func NewBatch() *Batch {
 func (b *Batch) Release() {
 	if b.pooled {
 		b.vals = b.vals[:0]
+		b.colsOn = false
 		batchPool.Put(b)
 	}
 }
@@ -167,12 +304,13 @@ func Collect(op Operator) ([]tuple.Tuple, error) {
 		if b == nil {
 			return out, nil
 		}
+		rows := b.Rows()
 		if b.OwnsRows() {
-			for _, r := range b.rows {
+			for _, r := range rows {
 				out = append(out, arena.Concat(r, nil))
 			}
 		} else {
-			out = append(out, b.rows...)
+			out = append(out, rows...)
 		}
 		b.Release()
 	}
@@ -241,6 +379,43 @@ func (s *Source) Next() (*Batch, error) {
 
 // Close is a no-op for sources.
 func (s *Source) Close() error { return nil }
+
+// ColSource adapts an in-memory row slice into a columnar Operator:
+// each batch is a fresh transpose of up to DefaultBatchSize rows — the
+// in-memory analogue of the columnar scan path. Tests and the
+// differential harness use it to drive the vectorized operators with
+// columnar inputs directly.
+type ColSource struct {
+	views [][]tuple.Tuple
+	pos   int
+}
+
+// NewColSource builds a columnar source over rows.
+func NewColSource(rows []tuple.Tuple) *ColSource {
+	return &ColSource{views: tuple.Views(rows, DefaultBatchSize)}
+}
+
+// Open resets the source to the first batch.
+func (s *ColSource) Open() error { s.pos = 0; return nil }
+
+// Next transposes and returns the next batch.
+func (s *ColSource) Next() (*Batch, error) {
+	if s.pos >= len(s.views) {
+		return nil, nil
+	}
+	rows := s.views[s.pos]
+	s.pos++
+	ncols := 0
+	if len(rows) > 0 {
+		ncols = len(rows[0])
+	}
+	b := NewColBatch(ncols)
+	b.AppendColRows(rows)
+	return b, nil
+}
+
+// Close is a no-op for sources.
+func (s *ColSource) Close() error { return nil }
 
 // ScanOp returns an operator that reads the refs' blocks on the
 // executor's bounded worker pool, filters by the predicate conjunction,
@@ -318,6 +493,7 @@ func (s *scanOp) worker() {
 	if n < 1 {
 		n = 1
 	}
+	var match []tuple.Tuple // per-worker scratch for predicate survivors
 	for {
 		idx := int(s.next.Add(1) - 1)
 		if idx >= len(s.refs) {
@@ -333,6 +509,48 @@ func (s *scanOp) worker() {
 			continue // vanished (concurrent repartition): rows moved elsewhere
 		}
 		s.e.Meter.AddScan(blk.Len(), local)
+		if !s.e.DisableColumnar && len(blk.Tuples) > 0 {
+			// Columnar emit: transpose matching rows into typed vectors a
+			// block at a time (Columns.AppendRows hoists kind dispatch out
+			// of the per-value loop). Repeated string payloads dedup
+			// against the previous row in the column arena
+			// (ColVec.appendStr), so runs of TPC-H flags/modes share bytes
+			// across the whole batch.
+			rows := blk.Tuples
+			if len(s.preds) > 0 {
+				match = match[:0]
+				for _, r := range rows {
+					if predicate.MatchesAll(s.preds, r) {
+						match = append(match, r)
+					}
+				}
+				rows = match
+			}
+			ncols := len(blk.Tuples[0])
+			b := NewColBatch(ncols)
+			for len(rows) > 0 {
+				take := DefaultBatchSize - b.Len()
+				if take > len(rows) {
+					take = len(rows)
+				}
+				b.AppendColRows(rows[:take])
+				rows = rows[take:]
+				if b.Full() {
+					if !s.send(b) {
+						return
+					}
+					b = NewColBatch(ncols)
+				}
+			}
+			if b.Len() > 0 {
+				if !s.send(b) {
+					return
+				}
+			} else {
+				b.Release()
+			}
+			continue
+		}
 		b := NewBatch()
 		for _, r := range blk.Tuples {
 			if predicate.MatchesAll(s.preds, r) {
@@ -400,8 +618,9 @@ func Where(child Operator, preds []predicate.Predicate) Operator {
 }
 
 type filterOp struct {
-	child Operator
-	preds []predicate.Predicate
+	child   Operator
+	preds   []predicate.Predicate
+	scratch tuple.Tuple
 }
 
 func (f *filterOp) Open() error { return f.child.Open() }
@@ -411,6 +630,20 @@ func (f *filterOp) Next() (*Batch, error) {
 		in, err := f.child.Next()
 		if err != nil || in == nil {
 			return nil, err
+		}
+		if cb := in.Cols(); cb != nil {
+			// Columnar batch: refine the selection vector in place — no
+			// row moves, no new batch. Rejected rows just leave the
+			// selection; downstream operators iterate what survives.
+			cb.FilterSel(func(i int) bool {
+				f.scratch = cb.RowTo(f.scratch, i)
+				return predicate.MatchesAll(f.preds, f.scratch)
+			})
+			if cb.Len() > 0 {
+				return in, nil
+			}
+			in.Release()
+			continue
 		}
 		out := NewBatch()
 		owned := in.OwnsRows()
@@ -594,7 +827,11 @@ type hashJoinOp struct {
 	radixShift uint
 	nParts     int
 
-	parts     []*joinTable
+	parts []*joinTable
+	// cbuild is the columnar build store + per-partition hash tables,
+	// non-nil exactly when the columnar path is on (coljoin.go); parts
+	// stays nil then.
+	cbuild    *colBuild
 	buildRows int
 	// spill is the hybrid-hash-join state, non-nil exactly when the
 	// executor carries a MemBudget; hasSpilled is frozen after the build
@@ -692,6 +929,9 @@ func (j *hashJoinOp) Open() error {
 // its rows — resident and future — stream to run files instead, each
 // worker flushing its own share locklessly (spill.go).
 func (j *hashJoinOp) buildTables() error {
+	if !j.e.DisableColumnar {
+		return j.buildTablesCol()
+	}
 	w := j.workerCount()
 	bufs := make([][]joinBuf, w)
 	in := make(chan *Batch, w)
@@ -812,7 +1052,13 @@ func (j *hashJoinOp) buildTables() error {
 	// Seal tables: partitions are handed to workers via an atomic
 	// counter; each table merges the same partition's buffer from every
 	// build worker. Demoted partitions seal empty — their rows live in
-	// run files and join in the second pass.
+	// run files and join in the second pass. Buckets are raised toward
+	// the planner's per-partition estimate so skewed partitions seal at
+	// load factor ≤ 1 without a hash-time penalty on their siblings.
+	perHint := 0
+	if j.opts.BuildRowsEst > 0 {
+		perHint = j.opts.BuildRowsEst >> uint(j.radixBits)
+	}
 	var next atomic.Int64
 	var swg sync.WaitGroup
 	for i := 0; i < w; i++ {
@@ -832,7 +1078,7 @@ func (j *hashJoinOp) buildTables() error {
 				for wi := range bufs {
 					srcs[wi] = &bufs[wi][p]
 				}
-				j.parts[p] = newJoinTable(j.bCol, srcs...)
+				j.parts[p] = newJoinTableHint(j.bCol, perHint, srcs...)
 			}
 		}()
 	}
@@ -879,6 +1125,10 @@ func (j *hashJoinOp) probeWorker(id int) {
 	var spw *partSpiller
 	if j.hasSpilled {
 		spw = j.spill.newPartSpiller(id, true)
+	}
+	if j.cbuild != nil {
+		j.probeWorkerCol(spw)
+		return
 	}
 	skipped := int64(0)
 	for pb := range j.in {
@@ -1009,6 +1259,7 @@ func (j *hashJoinOp) Close() error {
 			j.spill.cleanup()
 		}
 	})
+	j.cbuild = nil
 	for i := range j.parts {
 		j.parts[i] = nil
 	}
@@ -1103,9 +1354,16 @@ func (h *HyperJoinOp) worker() {
 // over the group's R blocks, probe it with every overlapping S block,
 // streaming output batches. Returns false when the operator was closed.
 func (h *HyperJoinOp) runGroup(group []int) bool {
-	// The group's task runs where its first R block lives.
+	// The group's task runs where its first R block lives. Block metadata
+	// knows the group's exact row count up front, so the table is built
+	// incrementally into pre-sized buckets — zero rehash-grows whenever
+	// the predicates keep at least half the rows.
 	node := h.e.taskNode(h.rRefs[group[0]].Path)
-	var buf joinBuf
+	est := 0
+	for _, i := range group {
+		est += h.rRefs[i].Meta.Count
+	}
+	ht := newJoinTableCap(h.rCol, est)
 	for _, i := range group {
 		blk, local, err := h.e.Store.GetBlock(h.rRefs[i].Path, node)
 		if err != nil {
@@ -1118,11 +1376,10 @@ func (h *HyperJoinOp) runGroup(group []int) bool {
 				if key.IsNull() {
 					continue // NULL never equals NULL in a join
 				}
-				buf.add(key.Hash64(), r)
+				ht.insert(key.Hash64(), r)
 			}
 		}
 	}
-	ht := newJoinTable(h.rCol, &buf)
 	// Probe phase: only overlapping S blocks.
 	union := hyperjoin.Union(h.plan.V, group)
 	probed := 0

@@ -294,6 +294,62 @@ func TestBatchAppendBeyondCapacityUnpools(t *testing.T) {
 	}
 }
 
+// TestColBatchGrowthUnpools is the columnar twin of the test above: a
+// pooled columnar batch whose vectors grow past DefaultBatchSize rows
+// must leave the pool, both on the row-at-a-time and the bulk transpose
+// path, or the pool accumulates ever-larger vector storage (columnar
+// pool poisoning).
+func TestColBatchGrowthUnpools(t *testing.T) {
+	row := tuple.Tuple{value.NewInt(7), value.NewString("x")}
+
+	b := NewColBatch(2)
+	if !b.pooled {
+		t.Fatal("NewColBatch returned an un-pooled batch")
+	}
+	for i := 0; i < DefaultBatchSize; i++ {
+		b.AppendColRow(row)
+	}
+	if !b.pooled {
+		t.Fatal("columnar batch un-pooled before exceeding capacity")
+	}
+	b.AppendColRow(row) // grows the vectors past capacity
+	if b.pooled {
+		t.Error("grown columnar batch still pooled — oversized vectors would enter the pool")
+	}
+	if b.Len() != DefaultBatchSize+1 {
+		t.Errorf("grown columnar batch len %d, want %d", b.Len(), DefaultBatchSize+1)
+	}
+	b.Release() // must be a no-op on the un-pooled batch
+
+	// Bulk path: one oversized transpose un-pools up front.
+	rows := make([]tuple.Tuple, DefaultBatchSize+1)
+	for i := range rows {
+		rows[i] = row
+	}
+	bb := NewColBatch(2)
+	bb.AppendColRows(rows)
+	if bb.pooled {
+		t.Error("bulk-grown columnar batch still pooled")
+	}
+	bb.Release()
+
+	// A bulk append that exactly fills the batch stays pooled, and the
+	// pool keeps handing out reset columnar batches afterwards.
+	cb := NewColBatch(2)
+	cb.AppendColRows(rows[:DefaultBatchSize])
+	if !cb.pooled {
+		t.Error("exactly-full columnar batch was un-pooled")
+	}
+	cb.Release()
+	for i := 0; i < 8; i++ {
+		nb := NewColBatch(2)
+		if nb.Len() != 0 || nb.Cols().FullLen() != 0 {
+			t.Fatalf("pool handed out a dirty columnar batch: len=%d fullLen=%d", nb.Len(), nb.Cols().FullLen())
+		}
+		nb.Release()
+	}
+}
+
 // nullableRows builds rows whose join key (column 0) is NULL every
 // nullEvery-th row, tagged in column 1.
 func nullableRows(n, nullEvery int, keyMod int64, tagBase int64) []tuple.Tuple {

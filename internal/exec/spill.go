@@ -97,6 +97,12 @@ type runWriter struct {
 	arena tuple.Arena
 	enc   []byte
 	file  runFile
+
+	// pendCols buffers rows spilled from columnar batches: flat typed
+	// copies instead of boxed tuples, encoded straight to the (column-
+	// major) frame format at flush. Row and columnar rows may interleave
+	// on one writer; they flush as separate frames of the same file.
+	pendCols *tuple.Columns
 }
 
 func newRunWriter(fs spillFS, path string) (*runWriter, error) {
@@ -123,15 +129,24 @@ func (w *runWriter) append(r tuple.Tuple, copyRow bool) error {
 	return nil
 }
 
-func (w *runWriter) flush() error {
-	if len(w.pend) == 0 {
-		return nil
+// appendCol buffers physical row i of a columnar batch — a flat typed
+// copy into the writer's column store, no boxing, no arena copy. The
+// vectorized twin of append(r, true): src may be recycled right after.
+func (w *runWriter) appendCol(src *tuple.Columns, i int) error {
+	if w.pendCols == nil {
+		w.pendCols = tuple.NewColumns(src.NumCols())
 	}
+	w.pendCols.AppendRowFrom(src, i)
+	w.file.memBytes += int64(src.MemBytesRow(i))
+	if w.pendCols.FullLen() >= spillFrameRows {
+		return w.flush()
+	}
+	return nil
+}
+
+// writeFrame writes one encoded frame with its length prefix.
+func (w *runWriter) writeFrame(frame []byte, rows int) error {
 	var hdr [binary.MaxVarintLen64]byte
-	frame, err := tuple.AppendFrame(w.enc[:0], w.pend)
-	if err != nil {
-		return err
-	}
 	n := binary.PutUvarint(hdr[:], uint64(len(frame)))
 	if _, err := w.bw.Write(hdr[:n]); err != nil {
 		return err
@@ -139,10 +154,31 @@ func (w *runWriter) flush() error {
 	if _, err := w.bw.Write(frame); err != nil {
 		return err
 	}
-	w.file.rows += int64(len(w.pend))
+	w.file.rows += int64(rows)
 	w.file.diskBytes += int64(n + len(frame))
-	w.enc = frame[:0]
-	w.pend = w.pend[:0]
+	return nil
+}
+
+func (w *runWriter) flush() error {
+	if len(w.pend) > 0 {
+		frame, err := tuple.AppendFrame(w.enc[:0], w.pend)
+		if err != nil {
+			return err
+		}
+		if err := w.writeFrame(frame, len(w.pend)); err != nil {
+			return err
+		}
+		w.enc = frame[:0]
+		w.pend = w.pend[:0]
+	}
+	if w.pendCols != nil && w.pendCols.FullLen() > 0 {
+		frame := w.pendCols.AppendFrame(w.enc[:0])
+		if err := w.writeFrame(frame, w.pendCols.FullLen()); err != nil {
+			return err
+		}
+		w.enc = frame[:0]
+		w.pendCols.Reset(w.pendCols.NumCols())
+	}
 	return nil
 }
 
@@ -537,6 +573,26 @@ func (sp *joinSpill) newPartSpiller(id int, probe bool) *partSpiller {
 // evictions, and leftover flushes alike), which is what makes a
 // negative filter answer exact.
 func (s *partSpiller) write(p int, h uint64, r tuple.Tuple, copyRow bool) error {
+	w, err := s.writer(p, h)
+	if err != nil {
+		return err
+	}
+	return w.append(r, copyRow)
+}
+
+// writeCol spills physical row i of a columnar batch — same protocol as
+// write (Bloom maintenance included) without materializing the row.
+func (s *partSpiller) writeCol(p int, h uint64, src *tuple.Columns, i int) error {
+	w, err := s.writer(p, h)
+	if err != nil {
+		return err
+	}
+	return w.appendCol(src, i)
+}
+
+// writer returns partition p's run writer, creating it on first use,
+// and folds build-side hashes into the partition's Bloom filter.
+func (s *partSpiller) writer(p int, h uint64) (*runWriter, error) {
 	if !s.probe {
 		if bf := s.sp.bloomAt(p); bf != nil {
 			bf.add(h)
@@ -546,16 +602,16 @@ func (s *partSpiller) write(p int, h uint64, r tuple.Tuple, copyRow bool) error 
 	if w == nil {
 		dir, err := s.sp.tempDir()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		name := fmt.Sprintf("%s-p%02d-w%02d-%d.run", s.side, p, s.id, s.sp.fileSeq.Add(1))
 		w, err = newRunWriter(s.sp.fs(), filepath.Join(dir, name))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		s.wr[p] = w
 	}
-	return w.append(r, copyRow)
+	return w, nil
 }
 
 // finish seals every open writer, registering its run file.
@@ -695,8 +751,9 @@ func (e *spillEmit) finish() {
 func (j *hashJoinOp) secondPass() {
 	sp := j.spill
 	// The first-pass tables are done: their probe stream has drained.
-	// Drop them and return their budget bytes — that headroom funds the
-	// second-pass loads.
+	// Drop them (row tables or the columnar store) and return their
+	// budget bytes — that headroom funds the second-pass loads.
+	j.cbuild = nil
 	for p := range j.parts {
 		j.parts[p] = nil
 		if held := sp.partBytes[p].Swap(0); held != 0 {

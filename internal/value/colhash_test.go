@@ -1,0 +1,104 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"unsafe"
+)
+
+// TestColumnHashMatchesBoxed pins the contract the columnar hot path
+// rests on: the flat helpers hash exactly like Value.Hash64, including
+// the ±0.0 fold, NaN canonicalization, and per-kind salting.
+func TestColumnHashMatchesBoxed(t *testing.T) {
+	ints := []int64{0, 1, -1, 42, math.MaxInt64, math.MinInt64, 1 << 33}
+	for _, k := range []Kind{Int, Date, Bool} {
+		for _, i := range ints {
+			if got, want := HashInt64(k, i), (Value{K: k, I: i}).Hash64(); got != want {
+				t.Errorf("HashInt64(%v, %d) = %#x, want %#x", k, i, got, want)
+			}
+		}
+	}
+	// Int and Date with the same payload must not collide by construction
+	// (different kind salt), matching Compare which never equates kinds.
+	if HashInt64(Int, 7) == HashInt64(Date, 7) {
+		t.Errorf("Int and Date hashes collide for payload 7")
+	}
+	floats := []float64{0, math.Copysign(0, -1), 1.5, -1.5, math.Inf(1), math.Inf(-1),
+		math.NaN(), math.Float64frombits(0x7ff8000000000001), // NaN with a payload
+		math.SmallestNonzeroFloat64, math.MaxFloat64}
+	for _, f := range floats {
+		if got, want := HashFloat64(f), NewFloat(f).Hash64(); got != want {
+			t.Errorf("HashFloat64(%v) = %#x, want %#x", f, got, want)
+		}
+	}
+	if HashFloat64(0) != HashFloat64(math.Copysign(0, -1)) {
+		t.Errorf("+0.0 and -0.0 hash differently")
+	}
+	if HashFloat64(math.NaN()) != HashFloat64(math.Float64frombits(0x7ff8000000000001)) {
+		t.Errorf("distinct NaN payloads hash differently")
+	}
+	for _, s := range []string{"", "a", "TRUCK", "RAIL", "a longer string with spaces", "\x00\xff"} {
+		if got, want := HashBytes([]byte(s)), NewString(s).Hash64(); got != want {
+			t.Errorf("HashBytes(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+	if HashNull != (Value{}).Hash64() {
+		t.Errorf("HashNull = %#x, want %#x", HashNull, (Value{}).Hash64())
+	}
+}
+
+func TestFloatEqualMatchesEqual(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), 1, -1, math.NaN(),
+		math.Float64frombits(0x7ff8000000000001), math.Inf(1), math.Inf(-1)}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got, want := FloatEqual(a, b), Equal(NewFloat(a), NewFloat(b)); got != want {
+				t.Errorf("FloatEqual(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestInternSharesBacking verifies the point of the cache: two equal
+// payloads arriving separately come back aliasing one allocation.
+func TestInternSharesBacking(t *testing.T) {
+	a := InternBytes([]byte("AIR REG"))
+	b := InternBytes([]byte("AIR REG"))
+	if a != b {
+		t.Fatalf("interned values differ: %q vs %q", a, b)
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Errorf("equal interned strings do not share backing storage")
+	}
+	// Intern on an existing string collapses onto the cached copy too.
+	dup := string([]byte("AIR REG")) // force a distinct allocation
+	c := Intern(dup)
+	if unsafe.StringData(c) != unsafe.StringData(a) {
+		t.Errorf("Intern(dup) did not return the cached backing")
+	}
+}
+
+// TestInternBounded floods the cache with distinct strings and checks
+// behaviour stays correct (values equal their input) — the table just
+// evicts, it never grows.
+func TestInternBounded(t *testing.T) {
+	long := make([]byte, internMaxLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if got := InternBytes(long); got != string(long) {
+		t.Fatalf("oversized payload mangled")
+	}
+	if got := InternBytes(nil); got != "" {
+		t.Fatalf("empty payload: got %q", got)
+	}
+	buf := []byte("key-00000000")
+	for i := 0; i < 100000; i++ {
+		for j, d := 11, i; j > 3; j, d = j-1, d/10 {
+			buf[j] = byte('0' + d%10)
+		}
+		if got := InternBytes(buf); got != string(buf) {
+			t.Fatalf("interned value %q != input %q", got, buf)
+		}
+	}
+}

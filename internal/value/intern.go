@@ -1,0 +1,74 @@
+// A bounded string intern cache for the scan decode path.
+//
+// TPC-H columns repeat a handful of strings millions of times
+// (return flags, ship modes, nation names); decoding each occurrence
+// into its own allocation both bloats the heap and defeats the cache.
+// Intern maps repeated payloads onto one shared backing allocation.
+//
+// The cache is a direct-mapped, sharded table rather than a map: each
+// probe is one hash, one lock, one compare. Collisions simply overwrite
+// the slot, so the cache is bounded at internShards×internSlots entries
+// no matter what flows through it — a high-cardinality column degrades
+// to ordinary allocation, never to unbounded growth.
+package value
+
+import "sync"
+
+const (
+	internShards = 64
+	internSlots  = 256
+	// internMaxLen bounds interned payloads: long strings (comments) are
+	// rarely duplicated and would evict the short hot ones.
+	internMaxLen = 48
+)
+
+type internShard struct {
+	mu  sync.Mutex
+	tab [internSlots]string
+}
+
+var internTable [internShards]internShard
+
+// InternBytes returns a string equal to b, shared with every other
+// recent caller that passed the same payload. Misses copy b once and
+// cache the copy; payloads longer than internMaxLen are never cached.
+func InternBytes(b []byte) string {
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	if len(b) == 0 {
+		return ""
+	}
+	h := HashBytes(b)
+	sh := &internTable[h%internShards]
+	slot := (h / internShards) % internSlots
+	sh.mu.Lock()
+	if s := sh.tab[slot]; s == string(b) { // compiler-optimized, no alloc
+		sh.mu.Unlock()
+		return s
+	}
+	s := string(b)
+	sh.tab[slot] = s
+	sh.mu.Unlock()
+	return s
+}
+
+// Intern is InternBytes for an existing string: a hit returns the
+// cached backing so duplicates decoded into separate allocations
+// collapse onto one.
+func Intern(s string) string {
+	if len(s) > internMaxLen || len(s) == 0 {
+		return s
+	}
+	h := NewString(s).Hash64()
+	sh := &internTable[h%internShards]
+	slot := (h / internShards) % internSlots
+	sh.mu.Lock()
+	if c := sh.tab[slot]; c == s {
+		sh.mu.Unlock()
+		return c
+	}
+	sh.tab[slot] = s
+	sh.mu.Unlock()
+	return s
+}
