@@ -132,6 +132,30 @@ type Counters struct {
 	ResultRows    int // rows produced by the query
 }
 
+// Add folds another snapshot into this one — the serving layer's
+// aggregation path, where per-query counters roll up into per-tenant
+// and service totals without touching a live Meter.
+func (c *Counters) Add(o Counters) {
+	c.ScanLocal += o.ScanLocal
+	c.ScanRemote += o.ScanRemote
+	c.ShuffleRows += o.ShuffleRows
+	c.BuildLocal += o.BuildLocal
+	c.BuildRemote += o.BuildRemote
+	c.ProbeLocal += o.ProbeLocal
+	c.ProbeRemote += o.ProbeRemote
+	c.IntermediateRows += o.IntermediateRows
+	c.RepartRows += o.RepartRows
+	c.ExchLocalRows += o.ExchLocalRows
+	c.ExchRemoteRows += o.ExchRemoteRows
+	c.ExchBytes += o.ExchBytes
+	c.SpillRows += o.SpillRows
+	c.SpillBytes += o.SpillBytes
+	c.SpillSkippedRows += o.SpillSkippedRows
+	c.BlocksScanned += o.BlocksScanned
+	c.ProbeBlocks += o.ProbeBlocks
+	c.ResultRows += o.ResultRows
+}
+
 // AddScan meters a scanned block.
 func (m *Meter) AddScan(rows int, local bool) {
 	m.mu.Lock()

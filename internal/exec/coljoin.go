@@ -124,6 +124,9 @@ func (j *hashJoinOp) buildTablesCol() error {
 			}
 			var hv []uint64
 			for b := range in {
+				if cerr := j.e.ctxErr(); cerr != nil {
+					j.fail(cerr)
+				}
 				if j.failed.Load() {
 					b.Release()
 					continue // keep draining so the feeder never blocks
@@ -439,6 +442,9 @@ func (j *hashJoinOp) probeWorkerCol(spw *partSpiller) {
 	st := &colProbe{j: j, ok: true}
 	skipped := int64(0)
 	for pb := range j.in {
+		if cerr := j.e.ctxErr(); cerr != nil {
+			j.fail(cerr)
+		}
 		if (j.buildRows == 0 && spw == nil) || j.failed.Load() {
 			pb.Release() // metered by the dispatcher; nothing can match
 			continue

@@ -176,6 +176,10 @@ func (x *Exchange) produce(in Operator, src int) {
 		if int(x.closed.Load()) == len(x.outs) {
 			break // every consumer is gone; stop pulling
 		}
+		if cerr := x.ns.parent.ctxErr(); cerr != nil {
+			x.fail(cerr)
+			break
+		}
 		b, err := in.Next()
 		if err != nil {
 			x.fail(err)

@@ -4,6 +4,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 
 	"adaptdb/internal/block"
@@ -59,6 +60,9 @@ type Executor struct {
 	pinned bool
 	// nodes is the per-node execution fabric, nil in centralized mode.
 	nodes *NodeSet
+	// ctx cancels in-flight operators at batch boundaries; nil means
+	// non-cancellable. Set via BindContext or ForQuery (query.go).
+	ctx context.Context
 }
 
 // New builds an executor.

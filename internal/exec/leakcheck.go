@@ -1,0 +1,78 @@
+// A dependency-free goroutine-leak checker shared by every test suite:
+// after a test drains its operators, VerifyNoLeaks asserts that no
+// goroutine started by this module's code is still running. Operator
+// workers, exchange producers, gather drains and spill second-pass
+// pools all terminate on Close, so anything left over is a real leak —
+// typically a worker blocked on an undrained channel.
+package exec
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// leakCheckT is the slice of testing.T the checker needs; declaring it
+// locally keeps the testing package out of the production build.
+type leakCheckT interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// VerifyNoLeaks fails the test if goroutines created by this module are
+// still alive after a grace period. Workers that are mid-shutdown when
+// the test body returns get a few scheduling rounds to finish (Close
+// guarantees eventual exit, not synchronous exit of the closer
+// goroutine itself), so the checker retries with backoff before
+// reporting. Call it deferred, or at the end of the test body:
+//
+//	defer exec.VerifyNoLeaks(t)
+func VerifyNoLeaks(t leakCheckT) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	var leaked []string
+	for {
+		leaked = moduleGoroutines()
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("exec: %d leaked goroutine(s):\n%s", len(leaked), strings.Join(leaked, "\n---\n"))
+}
+
+// moduleGoroutines returns the stacks of goroutines running (or created
+// by) this module's packages, excluding the calling goroutine and the
+// runtime/testing machinery.
+func moduleGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(g, "adaptdb/") {
+			continue // runtime, testing, OS threads
+		}
+		head, _, _ := strings.Cut(g, "\n")
+		if strings.HasPrefix(head, "goroutine") && strings.Contains(head, "[running]") &&
+			strings.Contains(g, "moduleGoroutines") {
+			continue // the checker itself
+		}
+		// Test driver goroutines (testing.tRunner frames) are the suite's
+		// own, not operator workers.
+		if strings.Contains(g, "testing.tRunner") || strings.Contains(g, "testing.(*T).Run") {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -62,6 +62,7 @@ func (e *Executor) EnableNodes(workersPerNode int) *NodeSet {
 			fs:              e.fs,
 			pin:             dfs.NodeID(i),
 			pinned:          true,
+			ctx:             e.ctx,
 		})
 	}
 	e.nodes = ns

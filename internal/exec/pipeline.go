@@ -456,6 +456,19 @@ type scanOp struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 	once  sync.Once
+	errMu sync.Mutex
+	err   error // first worker error (cancellation); published before out closes
+}
+
+// setErr records the first worker error; Next surfaces it once the
+// output channel closes (the workers have all exited by then, so the
+// write happens-before the read).
+func (s *scanOp) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
 }
 
 func (s *scanOp) Open() error {
@@ -495,6 +508,10 @@ func (s *scanOp) worker() {
 	}
 	var match []tuple.Tuple // per-worker scratch for predicate survivors
 	for {
+		if cerr := s.e.ctxErr(); cerr != nil {
+			s.setErr(cerr)
+			return
+		}
 		idx := int(s.next.Add(1) - 1)
 		if idx >= len(s.refs) {
 			return
@@ -589,7 +606,10 @@ func (s *scanOp) Next() (*Batch, error) {
 	}
 	b, ok := <-s.out
 	if !ok {
-		return nil, nil
+		s.errMu.Lock()
+		err := s.err
+		s.errMu.Unlock()
+		return nil, err
 	}
 	return b, nil
 }
@@ -949,6 +969,9 @@ func (j *hashJoinOp) buildTables() error {
 				spw = sp.newPartSpiller(id, false)
 			}
 			for b := range in {
+				if cerr := j.e.ctxErr(); cerr != nil {
+					j.fail(cerr)
+				}
 				if j.failed.Load() {
 					b.Release()
 					continue // keep draining so the feeder never blocks
@@ -1017,6 +1040,11 @@ func (j *hashJoinOp) buildTables() error {
 	// wrappers JoinOp installed, not here.
 	var err error
 	for {
+		if cerr := j.e.ctxErr(); cerr != nil {
+			j.fail(cerr) // workers drop in-flight batches instead of retaining rows
+			err = cerr
+			break
+		}
 		b, berr := j.build.Next()
 		if berr != nil {
 			err = berr
@@ -1096,6 +1124,13 @@ func (j *hashJoinOp) buildTables() error {
 func (j *hashJoinOp) dispatchProbe() {
 	defer close(j.in)
 	for {
+		if cerr := j.e.ctxErr(); cerr != nil {
+			// fail too, so workers stop joining and the closer goroutine
+			// skips the second pass.
+			j.fail(cerr)
+			j.perr = cerr
+			return
+		}
 		b, err := j.probe.Next()
 		if err != nil {
 			j.perr = err
@@ -1132,6 +1167,9 @@ func (j *hashJoinOp) probeWorker(id int) {
 	}
 	skipped := int64(0)
 	for pb := range j.in {
+		if cerr := j.e.ctxErr(); cerr != nil {
+			j.fail(cerr)
+		}
 		if (j.buildRows == 0 && spw == nil) || j.failed.Load() {
 			pb.Release() // metered by the dispatcher; nothing can match
 			continue
@@ -1284,6 +1322,8 @@ type HyperJoinOp struct {
 	results atomic.Int64
 	empty   bool
 	metered bool
+	errMu   sync.Mutex
+	err     error // first worker error (cancellation); published before out closes
 
 	next atomic.Int64
 	out  chan *Batch
@@ -1340,6 +1380,14 @@ func (h *HyperJoinOp) Open() error {
 func (h *HyperJoinOp) worker() {
 	defer h.wg.Done()
 	for {
+		if cerr := h.e.ctxErr(); cerr != nil {
+			h.errMu.Lock()
+			if h.err == nil {
+				h.err = cerr
+			}
+			h.errMu.Unlock()
+			return
+		}
 		gi := int(h.next.Add(1) - 1)
 		if gi >= len(h.plan.Grouping) {
 			return
@@ -1446,6 +1494,12 @@ func (h *HyperJoinOp) Next() (*Batch, error) {
 	}
 	b, ok := <-h.out
 	if !ok {
+		h.errMu.Lock()
+		err := h.err
+		h.errMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
 		h.finish()
 		return nil, nil
 	}

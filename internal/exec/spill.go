@@ -785,6 +785,9 @@ func (j *hashJoinOp) secondPass() {
 			defer wg.Done()
 			em := &spillEmit{j: j}
 			for {
+				if cerr := j.e.ctxErr(); cerr != nil {
+					j.fail(cerr)
+				}
 				k := int(next.Add(1) - 1)
 				if k >= len(parts) || j.failed.Load() {
 					break
@@ -822,6 +825,14 @@ func (j *hashJoinOp) secondPass() {
 //     times).
 func (j *hashJoinOp) joinSpilled(level int, build, probe []runFile, em *spillEmit, limit int64) error {
 	fs := j.spill.fs()
+	// Checked per (sub-)partition: the recursion re-enters here, so a
+	// cancelled query abandons a spilled join between loads rather than
+	// finishing a multi-level repartition.
+	if cerr := j.e.ctxErr(); cerr != nil {
+		removeRuns(fs, build)
+		removeRuns(fs, probe)
+		return cerr
+	}
 	if len(build) == 0 || len(probe) == 0 {
 		removeRuns(fs, build)
 		removeRuns(fs, probe)

@@ -109,6 +109,14 @@ type StepReport struct {
 	AmoebaTransforms int
 }
 
+// Adapted reports whether the step changed any table's physical layout
+// — the signal the serving layer's plan cache keys on: a true here
+// must bump the touched tables' partitioning epochs so cached
+// fragments compiled against the old layout stop being served.
+func (r StepReport) Adapted() bool {
+	return r.MovedRows > 0 || r.CreatedTrees > 0 || r.FullRepartitions > 0 || r.AmoebaTransforms > 0
+}
+
 // OnQuery records the query in each touched table's window and performs
 // the policy's repartitioning work, metering its I/O into the query's
 // meter (repartitioning overhead lands on the triggering query, as in

@@ -176,7 +176,7 @@ func (r *Runner) compileSemiShuffle(c *Compiled, build exec.Operator, buildRows,
 // compileTableJoin lowers a base-table ⋈ base-table join to the
 // strategy planTableJoin picks from zone-map metadata.
 func (r *Runner) compileTableJoin(j *Join, l, rt *Scan, c *Compiled) (exec.Operator, error) {
-	p := r.planTableJoin(l, j.LCol, rt, j.RCol)
+	p := r.cachedTableJoin(l, j.LCol, rt, j.RCol)
 	pair := l.Table.Name + "⋈" + rt.Table.Name
 	switch p.strategy {
 	case StratShuffle:
@@ -278,4 +278,25 @@ func (r *Runner) estimateRows(n Node) int {
 	default:
 		return 0
 	}
+}
+
+// EstimateFootprint prices a plan's peak operator memory from zone-map
+// metadata alone: every hash join holds its smaller input resident
+// (the build table), so the footprint sums min(left, right) estimated
+// rows × estRowBytes over the plan's joins. Admission control reserves
+// this many bytes from the shared budget before the query runs; like
+// every planner estimate it steers resource decisions, never
+// correctness — an underestimate makes the join spill inside its
+// share, an overestimate queues a query that would have fit.
+func (r *Runner) EstimateFootprint(n Node) int64 {
+	nd, ok := n.(*Join)
+	if !ok {
+		return 0
+	}
+	l, rt := r.estimateRows(nd.Left), r.estimateRows(nd.Right)
+	build := l
+	if rt < l {
+		build = rt
+	}
+	return int64(build)*estRowBytes + r.EstimateFootprint(nd.Left) + r.EstimateFootprint(nd.Right)
 }

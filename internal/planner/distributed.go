@@ -140,7 +140,7 @@ func (r *Runner) distScan(c *Compiled, s *Scan) distOut {
 // distTableJoin lowers a base-table ⋈ base-table join to the strategy
 // planTableJoin picks from zone-map metadata, realized across nodes.
 func (r *Runner) distTableJoin(j *Join, l, rt *Scan, c *Compiled) (distOut, error) {
-	p := r.planTableJoin(l, j.LCol, rt, j.RCol)
+	p := r.cachedTableJoin(l, j.LCol, rt, j.RCol)
 	pair := l.Table.Name + "⋈" + rt.Table.Name
 	switch p.strategy {
 	case StratShuffle:

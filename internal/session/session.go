@@ -26,6 +26,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -168,6 +169,25 @@ func (s *Session) Execute(q Query) (*Result, error) {
 // just count rows). The batch is only valid during the call — sink
 // must copy any owned rows it wants to retain (see exec.Batch).
 func (s *Session) Stream(q Query, sink func(*exec.Batch) error) (*Result, error) {
+	return s.run(q, false, sink)
+}
+
+// ExecuteContext is Execute under a cancellation context: operator
+// drain loops check ctx at batch boundaries and the query errors with
+// ctx.Err() once it is cancelled or past deadline. The context binds
+// to the session's executor for the duration of the call (sessions are
+// single-stream, so no other query can observe it).
+func (s *Session) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
+	s.ex.BindContext(ctx)
+	defer s.ex.BindContext(nil)
+	return s.run(q, true, nil)
+}
+
+// StreamContext is Stream under a cancellation context (see
+// ExecuteContext).
+func (s *Session) StreamContext(ctx context.Context, q Query, sink func(*exec.Batch) error) (*Result, error) {
+	s.ex.BindContext(ctx)
+	defer s.ex.BindContext(nil)
 	return s.run(q, false, sink)
 }
 
