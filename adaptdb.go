@@ -33,6 +33,7 @@ import (
 	"adaptdb/internal/optimizer"
 	"adaptdb/internal/planner"
 	"adaptdb/internal/predicate"
+	"adaptdb/internal/query"
 	"adaptdb/internal/schema"
 	"adaptdb/internal/tuple"
 	"adaptdb/internal/value"
@@ -254,14 +255,20 @@ func (t *Table) Name() string { return t.tbl.Name }
 // Schema returns the table schema.
 func (t *Table) Schema() *Schema { return t.tbl.Schema }
 
-// QueryBuilder assembles a scan or a left-deep join query.
+// QueryBuilder assembles a declarative query — a scan, an n-way join,
+// optionally grouped and aggregated. Run lowers it through the
+// query.Spec layer: names resolve at bind time, and the planner's
+// greedy zone-map ordering picks the join order (results always come
+// back in table reference order, so the ordering is invisible).
 type QueryBuilder struct {
 	db   *DB
 	err  error
 	base string
-	// per-table predicate lists and join structure
-	preds map[string][]predicate.Predicate
-	joins []joinClause
+	// per-table predicate lists (named form) and join structure
+	preds   map[string][]query.Pred
+	joins   []joinClause
+	groupBy []query.Col
+	aggs    []query.Agg
 }
 
 type joinClause struct {
@@ -272,7 +279,7 @@ type joinClause struct {
 
 // Query starts a query over a base table.
 func (db *DB) Query(table string) *QueryBuilder {
-	qb := &QueryBuilder{db: db, base: table, preds: map[string][]predicate.Predicate{}}
+	qb := &QueryBuilder{db: db, base: table, preds: map[string][]query.Pred{}}
 	if _, ok := db.tables[table]; !ok {
 		qb.err = fmt.Errorf("adaptdb: no table %q", table)
 	}
@@ -283,15 +290,15 @@ func (db *DB) Query(table string) *QueryBuilder {
 // referenced table (the base table before any Join, the joined table
 // after).
 func (qb *QueryBuilder) Where(col string, op CmpOp, v Value) *QueryBuilder {
-	return qb.wherePred(col, predicate.Predicate{Op: op, Val: v})
+	return qb.wherePred(col, query.Pred{Col: col, Op: op, Val: v})
 }
 
 // WhereIn adds a membership predicate.
 func (qb *QueryBuilder) WhereIn(col string, vs ...Value) *QueryBuilder {
-	return qb.wherePred(col, predicate.Predicate{Op: predicate.In, Vals: vs})
+	return qb.wherePred(col, query.Pred{Col: col, Op: predicate.In, Vals: vs})
 }
 
-func (qb *QueryBuilder) wherePred(col string, p predicate.Predicate) *QueryBuilder {
+func (qb *QueryBuilder) wherePred(col string, p query.Pred) *QueryBuilder {
 	if qb.err != nil {
 		return qb
 	}
@@ -299,13 +306,10 @@ func (qb *QueryBuilder) wherePred(col string, p predicate.Predicate) *QueryBuild
 	if len(qb.joins) > 0 {
 		tname = qb.joins[len(qb.joins)-1].table
 	}
-	tbl := qb.db.tables[tname]
-	idx := tbl.Schema.Index(col)
-	if idx < 0 {
+	if qb.db.tables[tname].Schema.Index(col) < 0 {
 		qb.err = fmt.Errorf("adaptdb: table %q has no column %q", tname, col)
 		return qb
 	}
-	p.Col = idx
 	qb.preds[tname] = append(qb.preds[tname], p)
 	return qb
 }
@@ -322,6 +326,70 @@ func (qb *QueryBuilder) Join(table, leftCol, rightCol string) *QueryBuilder {
 	}
 	qb.joins = append(qb.joins, joinClause{table: table, leftCol: leftCol, rightCol: rightCol})
 	return qb
+}
+
+// GroupBy groups the result on the named columns (each resolved across
+// the referenced tables, base first). With grouping or aggregates, each
+// result row is the group columns followed by the aggregate values.
+func (qb *QueryBuilder) GroupBy(cols ...string) *QueryBuilder {
+	for _, col := range cols {
+		if qb.err != nil {
+			return qb
+		}
+		c, err := qb.resolveAnywhere(col)
+		if err != nil {
+			qb.err = err
+			return qb
+		}
+		qb.groupBy = append(qb.groupBy, c)
+	}
+	return qb
+}
+
+// Count adds a COUNT(*) aggregate.
+func (qb *QueryBuilder) Count() *QueryBuilder {
+	qb.aggs = append(qb.aggs, query.Count())
+	return qb
+}
+
+// Sum adds SUM(col).
+func (qb *QueryBuilder) Sum(col string) *QueryBuilder { return qb.agg(query.AggSum, col) }
+
+// Min adds MIN(col).
+func (qb *QueryBuilder) Min(col string) *QueryBuilder { return qb.agg(query.AggMin, col) }
+
+// Max adds MAX(col).
+func (qb *QueryBuilder) Max(col string) *QueryBuilder { return qb.agg(query.AggMax, col) }
+
+// Avg adds AVG(col).
+func (qb *QueryBuilder) Avg(col string) *QueryBuilder { return qb.agg(query.AggAvg, col) }
+
+func (qb *QueryBuilder) agg(fn query.AggFunc, col string) *QueryBuilder {
+	if qb.err != nil {
+		return qb
+	}
+	c, err := qb.resolveAnywhere(col)
+	if err != nil {
+		qb.err = err
+		return qb
+	}
+	qb.aggs = append(qb.aggs, query.Agg{Func: fn, Col: c})
+	return qb
+}
+
+// resolveAnywhere finds which referenced table owns col, scanning the
+// base table then the joins in order.
+func (qb *QueryBuilder) resolveAnywhere(col string) (query.Col, error) {
+	names := []string{qb.base}
+	for _, jc := range qb.joins {
+		names = append(names, jc.table)
+	}
+	for _, name := range names {
+		if qb.db.tables[name].Schema.Index(col) >= 0 {
+			return query.C(name, col), nil
+		}
+	}
+	return query.Col{}, fmt.Errorf("adaptdb: column %q not found in %v", col, names)
 }
 
 // Stats describes one executed query.
@@ -347,9 +415,11 @@ type Result struct {
 	Stats Stats
 }
 
-// Run executes the query: the optimizer first adapts partitioning per
-// the query window, then the planner picks join strategies per the cost
-// model and the executor runs them.
+// Run executes the query: the spec binds against the catalog, the
+// optimizer adapts partitioning per the query window (touch
+// descriptors derived from the join graph — never hand-maintained),
+// then the planner greedily orders the join graph and picks join
+// strategies per the cost model, and the executor runs them.
 func (qb *QueryBuilder) Run() (*Result, error) {
 	if qb.err != nil {
 		return nil, qb.err
@@ -357,23 +427,24 @@ func (qb *QueryBuilder) Run() (*Result, error) {
 	db := qb.db
 	meter := &cluster.Meter{}
 
-	// Optimizer step: record usage and repartition.
-	uses, err := qb.tableUses()
+	spec, err := qb.buildSpec()
 	if err != nil {
 		return nil, err
 	}
-	rep, err := db.opt.OnQuery(uses, meter)
+	bound, err := spec.Bind(query.Catalog(db.tables))
 	if err != nil {
 		return nil, err
 	}
 
-	plan, err := qb.buildPlan()
+	// Optimizer step: record usage and repartition.
+	rep, err := db.opt.OnQuery(bound.Uses(), meter)
 	if err != nil {
 		return nil, err
 	}
+
 	runner := planner.NewRunner(exec.New(db.store, meter), db.model)
 	runner.BudgetBlocks = db.opts.BudgetBlocks
-	rows, prep, err := runner.Run(plan)
+	rows, prep, err := runner.RunSpec(bound)
 	if err != nil {
 		return nil, err
 	}
@@ -391,44 +462,9 @@ func (qb *QueryBuilder) Run() (*Result, error) {
 	return &Result{Rows: rows, Stats: st}, nil
 }
 
-// tableUses derives the per-table optimizer descriptors: join attribute
-// (when the table participates in an equi-join) plus its predicates.
-func (qb *QueryBuilder) tableUses() ([]optimizer.TableUse, error) {
-	joinAttr := map[string]int{qb.base: -1}
-	for _, jc := range qb.joins {
-		joinAttr[jc.table] = -1
-	}
-	for _, jc := range qb.joins {
-		lTable, lIdx, err := qb.resolveLeft(jc.leftCol, jc.table)
-		if err != nil {
-			return nil, err
-		}
-		rTbl := qb.db.tables[jc.table]
-		rIdx := rTbl.Schema.Index(jc.rightCol)
-		if rIdx < 0 {
-			return nil, fmt.Errorf("adaptdb: table %q has no column %q", jc.table, jc.rightCol)
-		}
-		joinAttr[lTable] = lIdx
-		joinAttr[jc.table] = rIdx
-	}
-	var uses []optimizer.TableUse
-	add := func(name string) {
-		uses = append(uses, optimizer.TableUse{
-			Table:    qb.db.tables[name],
-			JoinAttr: joinAttr[name],
-			Preds:    qb.preds[name],
-		})
-	}
-	add(qb.base)
-	for _, jc := range qb.joins {
-		add(jc.table)
-	}
-	return uses, nil
-}
-
 // resolveLeft finds which previously referenced table owns leftCol,
 // scanning the base table then earlier joins (tables before `until`).
-func (qb *QueryBuilder) resolveLeft(col, until string) (string, int, error) {
+func (qb *QueryBuilder) resolveLeft(col, until string) (string, error) {
 	candidates := []string{qb.base}
 	for _, jc := range qb.joins {
 		if jc.table == until {
@@ -437,41 +473,33 @@ func (qb *QueryBuilder) resolveLeft(col, until string) (string, int, error) {
 		candidates = append(candidates, jc.table)
 	}
 	for _, name := range candidates {
-		if idx := qb.db.tables[name].Schema.Index(col); idx >= 0 {
-			return name, idx, nil
+		if qb.db.tables[name].Schema.Index(col) >= 0 {
+			return name, nil
 		}
 	}
-	return "", -1, fmt.Errorf("adaptdb: join column %q not found in %v", col, candidates)
+	return "", fmt.Errorf("adaptdb: join column %q not found in %v", col, candidates)
 }
 
-// buildPlan assembles the left-deep planner tree, translating the
-// left-column of each join into an offset in the accumulated output row.
-func (qb *QueryBuilder) buildPlan() (planner.Node, error) {
-	baseTbl := qb.db.tables[qb.base]
-	var node planner.Node = &planner.Scan{Table: baseTbl, Preds: qb.preds[qb.base]}
-	// offsets[table] = column offset of that table's block in the output.
-	offsets := map[string]int{qb.base: 0}
-	width := baseTbl.Schema.NumCols()
-	for _, jc := range qb.joins {
-		lTable, lIdx, err := qb.resolveLeft(jc.leftCol, jc.table)
-		if err != nil {
-			return nil, err
-		}
-		rTbl := qb.db.tables[jc.table]
-		rIdx := rTbl.Schema.Index(jc.rightCol)
-		if rIdx < 0 {
-			return nil, fmt.Errorf("adaptdb: table %q has no column %q", jc.table, jc.rightCol)
-		}
-		node = &planner.Join{
-			Left:  node,
-			Right: &planner.Scan{Table: rTbl, Preds: qb.preds[jc.table]},
-			LCol:  offsets[lTable] + lIdx,
-			RCol:  rIdx,
-		}
-		offsets[jc.table] = width
-		width += rTbl.Schema.NumCols()
+// buildSpec renders the builder state as a declarative query.Spec —
+// the single source the planner lowers; nothing positional survives
+// the public API.
+func (qb *QueryBuilder) buildSpec() (query.Spec, error) {
+	s := query.Spec{Label: qb.base}
+	add := func(name string) {
+		s.Tables = append(s.Tables, query.TableRef{Name: name, Preds: qb.preds[name]})
 	}
-	return node, nil
+	add(qb.base)
+	for _, jc := range qb.joins {
+		add(jc.table)
+		lTable, err := qb.resolveLeft(jc.leftCol, jc.table)
+		if err != nil {
+			return query.Spec{}, err
+		}
+		s.Joins = append(s.Joins, query.On(query.C(lTable, jc.leftCol), query.C(jc.table, jc.rightCol)))
+	}
+	s.GroupBy = qb.groupBy
+	s.Aggs = qb.aggs
+	return s, nil
 }
 
 func mergeCounters(a, b cluster.Counters) cluster.Counters {

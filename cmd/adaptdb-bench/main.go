@@ -79,6 +79,7 @@ func main() {
 		pipeline = flag.Bool("pipeline", false, "compare materialized vs pipelined executor paths and exit")
 		spill    = flag.Bool("spill", false, "sweep the shuffle join across memory budgets {inf, 1/2 build, 1/8 build}, columnar vs row paths, at 1/4/8 nodes unless -nodes is set, and exit (BENCH_PR7.json with -json)")
 		sess     = flag.Bool("session", false, "replay a join-attribute-shifting TPC-H stream through adaptive sessions (adaptation on vs off) and exit")
+		pr9      = flag.Bool("pr9", false, "run the PR-9 acceptance benchmarks — greedy vs fixed join order, and the RDF-style shifting workload adaptive vs static — and exit (BENCH_PR9.json with -json)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (implies -pipeline, or the session replay with -session); track results in BENCH_*.json")
 		sf       = flag.Float64("sf", 0, "TPC-H micro scale factor (default 0.002)")
 		rpb      = flag.Int("rows-per-block", 0, "rows per block (default 256)")
@@ -156,6 +157,13 @@ func main() {
 	if *sess {
 		if err := runSessionCompare(cfg, *jsonOut, *mem); err != nil {
 			fmt.Fprintf(os.Stderr, "session: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pr9 {
+		if err := runPR9(cfg, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pr9: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -149,6 +149,7 @@ func runSessionCompare(cfg experiments.Config, jsonOut bool, mem int64) error {
 		// Same rng seed per mode: both replays see identical query
 		// parameters.
 		rng := rand.New(rand.NewSource(cfg.Seed))
+		cat := tables.Catalog()
 		sum := sessionModeSummary{Mode: mode.name}
 		if !jsonOut {
 			fmt.Printf("--- %s ---\n", mode.name)
@@ -157,11 +158,11 @@ func runSessionCompare(cfg experiments.Config, jsonOut bool, mem int64) error {
 		start := time.Now()
 		for qi, tpl := range schedule {
 			in := tpch.NewInstance(tpl, data, rng)
-			res, err := s.Stream(session.Query{
-				Label: string(tpl),
-				Plan:  in.Plan(tables),
-				Uses:  in.Uses(tables),
-			}, nil)
+			q, err := session.FromSpec(cat, in.Spec())
+			if err != nil {
+				return fmt.Errorf("%s q%d (%s): %w", mode.name, qi, tpl, err)
+			}
+			res, err := s.Stream(q, nil)
 			if err != nil {
 				return fmt.Errorf("%s q%d (%s): %w", mode.name, qi, tpl, err)
 			}
@@ -239,12 +240,15 @@ func replayAdaptiveOnce(cfg experiments.Config, data *tpch.Dataset, nodes int, m
 		Distributed:  true,
 	})
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := tables.Catalog()
 	total := 0
 	for qi, tpl := range sessionSchedule() {
 		in := tpch.NewInstance(tpl, data, rng)
-		res, err := s.Stream(session.Query{
-			Label: string(tpl), Plan: in.Plan(tables), Uses: in.Uses(tables),
-		}, nil)
+		q, err := session.FromSpec(cat, in.Spec())
+		if err != nil {
+			return total, fmt.Errorf("nodes=%d q%d (%s): %w", nodes, qi, tpl, err)
+		}
+		res, err := s.Stream(q, nil)
 		if err != nil {
 			return total, fmt.Errorf("nodes=%d q%d (%s): %w", nodes, qi, tpl, err)
 		}

@@ -129,6 +129,7 @@ func run(sf float64, rpb, nodes, clients int, mem, seed int64, gate float64, jso
 	if err != nil {
 		return err
 	}
+	cat := tbls.Catalog()
 	serial := make(map[queryKey]queryDigest, clients*len(schedule))
 	rngs := make([]*rand.Rand, clients)
 	for c := range rngs {
@@ -137,10 +138,11 @@ func run(sf float64, rpb, nodes, clients int, mem, seed int64, gate float64, jso
 	start := time.Now()
 	for qi, tpl := range schedule {
 		for c := 0; c < clients; c++ {
-			in := tpch.NewInstance(tpl, data, rngs[c])
-			res, err := svc.Stream(context.Background(), tenantID(c), session.Query{
-				Label: string(tpl), Plan: in.Plan(tbls), Uses: in.Uses(tbls),
-			}, nil)
+			q, err := session.FromSpec(cat, tpch.NewInstance(tpl, data, rngs[c]).Spec())
+			if err != nil {
+				return fmt.Errorf("serial c%d q%d (%s): %w", c, qi, tpl, err)
+			}
+			res, err := svc.Stream(context.Background(), tenantID(c), q, nil)
 			if err != nil {
 				return fmt.Errorf("serial c%d q%d (%s): %w", c, qi, tpl, err)
 			}
@@ -155,6 +157,7 @@ func run(sf float64, rpb, nodes, clients int, mem, seed int64, gate float64, jso
 	if err != nil {
 		return err
 	}
+	cat = tbls.Catalog()
 	var (
 		mu         sync.Mutex
 		concurrent = make(map[queryKey]queryDigest, clients*len(schedule))
@@ -168,10 +171,11 @@ func run(sf float64, rpb, nodes, clients int, mem, seed int64, gate float64, jso
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for qi, tpl := range schedule {
-				in := tpch.NewInstance(tpl, data, rng)
-				res, err := svc.Stream(context.Background(), tenantID(c), session.Query{
-					Label: string(tpl), Plan: in.Plan(tbls), Uses: in.Uses(tbls),
-				}, nil)
+				var res *serve.Result
+				q, err := session.FromSpec(cat, tpch.NewInstance(tpl, data, rng).Spec())
+				if err == nil {
+					res, err = svc.Stream(context.Background(), tenantID(c), q, nil)
+				}
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -41,18 +41,20 @@ func main() {
 		BudgetBlocks: 8,
 	})
 
-	// A compressed shifting schedule: 12 queries per phase.
+	// A compressed shifting schedule: 12 queries per phase. Each query is
+	// a declarative spec (named tables and columns, a join graph); the
+	// session binds it, derives the optimizer touch descriptors from the
+	// graph, and the planner greedily orders the joins from zone maps.
+	cat := tables.Catalog()
 	phases := []tpch.Template{tpch.Q3, tpch.Q5, tpch.Q6, tpch.Q14, tpch.Q19}
 	rng := rand.New(rand.NewSource(7))
 	for _, tpl := range phases {
 		fmt.Printf("--- phase %s ---\n", tpl)
 		for i := 0; i < 12; i++ {
 			in := tpch.NewInstance(tpl, data, rng)
-			res, err := s.Execute(session.Query{
-				Label: string(tpl),
-				Plan:  in.Plan(tables),
-				Uses:  in.Uses(tables),
-			})
+			q, err := session.FromSpec(cat, in.Spec())
+			check(err)
+			res, err := s.Execute(q)
 			check(err)
 			strategies := ""
 			for _, j := range res.Report.Joins {
@@ -69,10 +71,9 @@ func main() {
 
 	// The per-operator stats of the last query show where its time went.
 	fmt.Println("last query, per operator:")
-	last, err := s.Execute(func() session.Query {
-		in := tpch.NewInstance(tpch.Q19, data, rng)
-		return session.Query{Label: "q19", Plan: in.Plan(tables), Uses: in.Uses(tables)}
-	}())
+	q, err := session.FromSpec(cat, tpch.NewInstance(tpch.Q19, data, rng).Spec())
+	check(err)
+	last, err := s.Execute(q)
 	check(err)
 	for _, op := range last.Ops {
 		fmt.Printf("  %-32s %8d rows %6d batches %8.2f ms\n",

@@ -106,9 +106,8 @@ func TestAppendColRowFrom(t *testing.T) {
 	if dst.Len() != len(rows) {
 		t.Fatalf("dst has %d rows, want %d", dst.Len(), len(rows))
 	}
-	var got []tuple.Tuple
-	for _, r := range dst.Rows() {
-		got = append(got, append(tuple.Tuple(nil), r...))
-	}
+	// dst is never released, so its materialized rows stay valid —
+	// retaining them without a per-row copy is safe here.
+	got := append([]tuple.Tuple(nil), dst.Rows()...)
 	rowsEqualSorted(t, got, rows)
 }

@@ -46,7 +46,11 @@ import (
 // duplicate chains through the string-specialized columnar probe loop
 // and the intern cache, with the chunked fallback in reach under tight
 // budgets.
-var Dists = []string{"uniform", "skewed", "dup", "nullheavy", "sparse", "weird", "zipfdisjoint", "dupstr"}
+// rdfskew models an RDF-style entity workload: keys are entity ids
+// drawn from a true Zipf law (s≈1.3), so a handful of hub entities
+// carry most of the triples — hotter than "skewed"'s cubed-uniform
+// pile-up, with a long thin tail of rare ids on both sides.
+var Dists = []string{"uniform", "skewed", "dup", "nullheavy", "sparse", "weird", "zipfdisjoint", "dupstr", "rdfskew"}
 
 // Shapes enumerates the relation-size shapes cases draw from. The heavy
 // shapes put three orders of magnitude between the sides, so budgeted
@@ -220,6 +224,8 @@ func genKey(rng *rand.Rand, dist string, kind value.Kind, keyRange int64) value.
 		// Three hot string keys: every build partition is a long duplicate
 		// chain, and repeated headers exercise interned-string sharing.
 		return value.NewString("hot-duplicate-key-" + strconv.Itoa(rng.Intn(3)))
+	case "rdfskew":
+		k = int64(rand.NewZipf(rng, 1.3, 1, uint64(keyRange)).Uint64())
 	case "weird":
 		switch rng.Intn(6) {
 		case 0:

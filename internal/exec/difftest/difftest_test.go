@@ -157,6 +157,11 @@ func TestSoak(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		if seed%7 == 0 {
+			if err := RunSpecCase(GenSpecCase(seed), nodes[int(seed/7)%len(nodes)]); err != nil {
+				t.Fatal(err)
+			}
+		}
 		n++
 	}
 	t.Logf("soak: %d cases clean", n)

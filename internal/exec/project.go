@@ -1,0 +1,160 @@
+// Residual-join filters, projection, and the empty stream — the small
+// relational operators the spec compiler wraps around a lowered join
+// tree: WhereColsEq applies the join-graph edges the ordered tree did
+// not consume (cyclic edges, extra attribute pairs of multi-attribute
+// edges), Project restores declaration column order after greedy
+// ordering permuted the tables, and Empty is the zero-cost plan for
+// queries zone maps prove produce nothing.
+package exec
+
+import (
+	"adaptdb/internal/tuple"
+)
+
+// WhereColsEq filters rows where every listed column pair is equal
+// under join-key semantics (NULL never equals anything, matching the
+// hash joins) — the residual form of a join-graph edge. pairs index the
+// child's output columns.
+func WhereColsEq(child Operator, pairs [][2]int) Operator {
+	if len(pairs) == 0 {
+		return child
+	}
+	return &colsEqOp{child: child, pairs: pairs}
+}
+
+type colsEqOp struct {
+	child Operator
+	pairs [][2]int
+}
+
+func (f *colsEqOp) Open() error { return f.child.Open() }
+
+func (f *colsEqOp) Next() (*Batch, error) {
+	for {
+		in, err := f.child.Next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		if cb := in.Cols(); cb != nil {
+			// Columnar: refine the selection vector in place, reading
+			// cells straight from the vectors.
+			cb.FilterSel(func(i int) bool {
+				for _, p := range f.pairs {
+					if !joinKeyEqual(cb.Value(p[0], i), cb.Value(p[1], i)) {
+						return false
+					}
+				}
+				return true
+			})
+			if cb.Len() > 0 {
+				return in, nil
+			}
+			in.Release()
+			continue
+		}
+		out := NewBatch()
+		owned := in.OwnsRows()
+		for _, r := range in.Rows() {
+			keep := true
+			for _, p := range f.pairs {
+				if !joinKeyEqual(r[p[0]], r[p[1]]) {
+					keep = false
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+			if owned {
+				out.AppendConcat(r, nil)
+			} else {
+				out.Append(r)
+			}
+		}
+		in.Release()
+		if out.Len() > 0 {
+			return out, nil
+		}
+		out.Release()
+	}
+}
+
+func (f *colsEqOp) Close() error { return f.child.Close() }
+
+// Project emits only the listed child columns, in the listed order.
+// Columnar batches project by gathering whole vectors through the
+// selection; row batches gather through a scratch tuple into the
+// output batch's arena.
+func Project(child Operator, cols []int) Operator {
+	return &projectOp{child: child, cols: cols}
+}
+
+type projectOp struct {
+	child   Operator
+	cols    []int
+	scratch tuple.Tuple
+	idxbuf  []int32
+}
+
+func (p *projectOp) Open() error { return p.child.Open() }
+
+func (p *projectOp) Next() (*Batch, error) {
+	for {
+		in, err := p.child.Next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		if in.Len() == 0 {
+			in.Release()
+			continue
+		}
+		if cb := in.Cols(); cb != nil {
+			idxs := cb.Sel()
+			if idxs == nil {
+				n := cb.Len()
+				if cap(p.idxbuf) < n {
+					p.idxbuf = make([]int32, n)
+				}
+				idxs = p.idxbuf[:n]
+				for i := range idxs {
+					idxs[i] = int32(i)
+				}
+			}
+			out := NewColBatch(len(p.cols))
+			if out.pooled && len(idxs) > DefaultBatchSize {
+				out.pooled = false
+			}
+			for ci, c := range p.cols {
+				out.cols.AppendColumnGather(ci, cb, c, idxs)
+			}
+			out.cols.AddRows(len(idxs))
+			in.Release()
+			return out, nil
+		}
+		out := NewBatch()
+		if cap(p.scratch) < len(p.cols) {
+			p.scratch = make(tuple.Tuple, len(p.cols))
+		}
+		s := p.scratch[:len(p.cols)]
+		for _, r := range in.Rows() {
+			for ci, c := range p.cols {
+				s[ci] = r[c]
+			}
+			out.AppendConcat(s, nil)
+		}
+		in.Release()
+		return out, nil
+	}
+}
+
+func (p *projectOp) Close() error { return p.child.Close() }
+
+// Empty is the stream with no batches — the compiled form of a plan
+// zone maps prove empty.
+func Empty() Operator { return emptyOp{} }
+
+type emptyOp struct{}
+
+func (emptyOp) Open() error           { return nil }
+func (emptyOp) Next() (*Batch, error) { return nil, nil }
+func (emptyOp) Close() error          { return nil }

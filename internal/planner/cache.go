@@ -41,9 +41,12 @@ type PlanCache struct {
 	hits, misses atomic.Int64
 }
 
+// cacheEntry values are either a tableJoinPlan (per-join strategy
+// decisions) or a specOrder (whole-spec join orderings); the key
+// namespaces ("S|" prefix for spec orders) keep them from colliding.
 type cacheEntry struct {
 	key  string
-	plan tableJoinPlan
+	plan any
 }
 
 // NewPlanCache builds a cache bounded to size entries (0 = default).
@@ -71,6 +74,15 @@ func (c *PlanCache) Len() int {
 }
 
 func (c *PlanCache) get(key string) (tableJoinPlan, bool) {
+	v, ok := c.getAny(key)
+	if !ok {
+		return tableJoinPlan{}, false
+	}
+	p, typed := v.(tableJoinPlan)
+	return p, typed
+}
+
+func (c *PlanCache) getAny(key string) (any, bool) {
 	c.mu.Lock()
 	el, ok := c.entries[key]
 	if ok {
@@ -79,13 +91,15 @@ func (c *PlanCache) get(key string) (tableJoinPlan, bool) {
 	c.mu.Unlock()
 	if !ok {
 		c.misses.Add(1)
-		return tableJoinPlan{}, false
+		return nil, false
 	}
 	c.hits.Add(1)
 	return el.Value.(*cacheEntry).plan, true
 }
 
-func (c *PlanCache) put(key string, p tableJoinPlan) {
+func (c *PlanCache) put(key string, p tableJoinPlan) { c.putAny(key, p) }
+
+func (c *PlanCache) putAny(key string, p any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {

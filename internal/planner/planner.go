@@ -59,6 +59,11 @@ type Runner struct {
 	// ForceShuffle disables hyper-join entirely (the "AdaptDB w/ Shuffle
 	// Join" and baseline configurations).
 	ForceShuffle bool
+	// FixedOrder disables greedy join ordering for specs: the left-deep
+	// tree follows table declaration order instead of zone-map
+	// cardinalities. The baseline the ordering benchmarks compare
+	// against; correctness is unaffected.
+	FixedOrder bool
 	// EstScale multiplies every build-side cardinality estimate handed
 	// to the execution joins (JoinOptions.BuildRowsEst); 0 or 1 means
 	// exact. Difftest injects 10x errors in both directions through it

@@ -1,0 +1,428 @@
+// Spec lowering: the pass that turns a bound query.Spec — an n-way
+// join graph with pushdown predicates and optional grouping — into the
+// planner's internal Node IR and on into the operator DAG. The heart is
+// a greedy zone-map-driven join ordering (cheapest-edge-first): with no
+// statistics beyond block metadata, join the two cheapest tables first
+// and repeatedly fold in the cheapest table adjacent to the joined set.
+// Greedy ordering over pruned zone-map cardinalities is exactly the
+// regime where simple beats clever — the estimates are coarse, but they
+// are coarse for every ordering, and the greedy choice exploits the one
+// signal that is reliable: predicate-pruned row counts.
+//
+// The ordering pass also proves emptiness early: if any table's pruned
+// ref set is empty, or any join edge's zone-map unions on the two sides
+// cannot overlap, the whole query provably yields nothing and compiles
+// to the empty stream (a global aggregate still emits its one row).
+//
+// Join-graph edges beyond the ordered left-deep tree — cyclic closing
+// edges, and the extra attribute pairs of multi-attribute edges —
+// become residual equality filters (exec.WhereColsEq) over the joined
+// stream. When greedy ordering permutes the tables, a final projection
+// restores table declaration order, so the ordering is invisible in the
+// results: only the join strategies and intermediate sizes change.
+//
+// Orderings are memoized in the PlanCache next to the per-join strategy
+// decisions, keyed by the spec fingerprint plus each table's
+// partitioning epoch and the runner knobs — the same epoch-invalidation
+// contract as table-join plans.
+package planner
+
+import (
+	"strconv"
+	"strings"
+
+	"adaptdb/internal/core"
+	"adaptdb/internal/exec"
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/query"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+// specOrder is the memoized ordering decision for one bound spec: the
+// table sequence of the left-deep join tree and, for each table after
+// the first, the join-graph edge that connects it to the prefix. empty
+// marks a query zone maps proved produces no rows.
+type specOrder struct {
+	empty bool
+	seq   []int
+	edges []int
+}
+
+// CompileSpec lowers a bound spec to an executable operator DAG:
+// greedy (or, under FixedOrder, declaration-order) join ordering, the
+// existing per-join strategy machinery underneath, residual equality
+// filters for graph edges the tree did not consume, and hash
+// aggregation or a declaration-order projection on top.
+func (r *Runner) CompileSpec(b *query.Bound) (*Compiled, error) {
+	ord := r.cachedSpecOrder(b)
+
+	if ord.empty {
+		c := &Compiled{Report: &Report{}}
+		root := exec.Operator(exec.Empty())
+		if b.Grouped() {
+			// A provably-empty input still owes the scalar-aggregate row.
+			root = r.instrument(c, "groupby", r.Ex.GroupByOp(root, r.groupSpec(b, declOffsets(b))), nil)
+		}
+		c.Root = root
+		return c, nil
+	}
+
+	node, offs := r.lowerSpec(b, ord)
+	c, err := r.Compile(node)
+	if err != nil {
+		return nil, err
+	}
+	root := c.Root
+
+	if pairs := residualPairs(b, ord, offs); len(pairs) > 0 {
+		root = r.instrument(c, "residual-filter", exec.WhereColsEq(root, pairs), nil)
+	}
+
+	switch {
+	case b.Grouped():
+		root = r.instrument(c, "groupby", r.Ex.GroupByOp(root, r.groupSpec(b, offs)), nil)
+	case permuted(ord.seq):
+		// Greedy ordering moved tables around; project back to table
+		// declaration order so results are ordering-independent.
+		root = r.instrument(c, "project", exec.Project(root, declColumns(b, offs)), nil)
+	}
+	c.Root = root
+	return c, nil
+}
+
+// RunSpec compiles and materializes a bound spec — the spec-level
+// sibling of Run.
+func (r *Runner) RunSpec(b *query.Bound) ([]tuple.Tuple, *Report, error) {
+	c, err := r.CompileSpec(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := exec.Collect(c.Root)
+	if err != nil {
+		return nil, c.Report, err
+	}
+	return rows, c.Report, nil
+}
+
+// EstimateSpecFootprint prices a spec's peak operator memory the same
+// way EstimateFootprint prices a Node plan, over the ordering this
+// runner would pick. Aggregation state is not priced — group counts are
+// unknowable from zone maps; the budget charge at runtime is advisory.
+func (r *Runner) EstimateSpecFootprint(b *query.Bound) int64 {
+	ord := r.cachedSpecOrder(b)
+	if ord.empty {
+		return 0
+	}
+	node, _ := r.lowerSpec(b, ord)
+	return r.EstimateFootprint(node)
+}
+
+// lowerSpec builds the left-deep Node tree for a decided ordering and
+// returns it with each table's column offset in the joined output.
+func (r *Runner) lowerSpec(b *query.Bound, ord specOrder) (Node, map[int]int) {
+	offs := make(map[int]int, len(ord.seq))
+	width := 0
+	for _, ti := range ord.seq {
+		offs[ti] = width
+		width += b.Tables[ti].Table.Schema.NumCols()
+	}
+	scan := func(ti int) *Scan {
+		return &Scan{Table: b.Tables[ti].Table, Preds: b.Tables[ti].Preds}
+	}
+	var node Node = scan(ord.seq[0])
+	placed := map[int]bool{ord.seq[0]: true}
+	for i := 1; i < len(ord.seq); i++ {
+		ti := ord.seq[i]
+		e := b.Joins[ord.edges[i-1]]
+		// Orient the edge: one endpoint is already in the prefix.
+		pTbl, pCol, tCol := e.L, e.LCols[0], e.RCols[0]
+		if !placed[pTbl] {
+			pTbl, pCol, tCol = e.R, e.RCols[0], e.LCols[0]
+		}
+		node = &Join{Left: node, Right: scan(ti), LCol: offs[pTbl] + pCol, RCol: tCol}
+		placed[ti] = true
+	}
+	return node, offs
+}
+
+// residualPairs lists the global column pairs the joined stream must
+// still filter on: every attribute pair of edges the tree skipped
+// (cyclic closing edges) and the second-and-later pairs of
+// multi-attribute tree edges (the tree consumed pair 0).
+func residualPairs(b *query.Bound, ord specOrder, offs map[int]int) [][2]int {
+	used := make(map[int]bool, len(ord.edges))
+	for _, ei := range ord.edges {
+		used[ei] = true
+	}
+	var pairs [][2]int
+	for ei, e := range b.Joins {
+		start := 0
+		if used[ei] {
+			start = 1
+		}
+		for ai := start; ai < len(e.LCols); ai++ {
+			pairs = append(pairs, [2]int{offs[e.L] + e.LCols[ai], offs[e.R] + e.RCols[ai]})
+		}
+	}
+	return pairs
+}
+
+// groupSpec maps the bound grouping clauses onto the joined stream's
+// global column indexes.
+func (r *Runner) groupSpec(b *query.Bound, offs map[int]int) exec.GroupBySpec {
+	gs := exec.GroupBySpec{}
+	for _, c := range b.GroupBy {
+		gs.GroupCols = append(gs.GroupCols, offs[c.Table]+c.Col)
+	}
+	for _, a := range b.Aggs {
+		as := exec.AggSpec{Fn: aggFn(a.Func), Col: -1}
+		if a.Table >= 0 {
+			as.Col = offs[a.Table] + a.Col
+		}
+		gs.Aggs = append(gs.Aggs, as)
+	}
+	return gs
+}
+
+func aggFn(f query.AggFunc) exec.AggFn {
+	switch f {
+	case query.AggSum:
+		return exec.AggSum
+	case query.AggMin:
+		return exec.AggMin
+	case query.AggMax:
+		return exec.AggMax
+	case query.AggAvg:
+		return exec.AggAvg
+	}
+	return exec.AggCount
+}
+
+// declOffsets lays the tables out in declaration order — the offsets
+// of the provably-empty path, where no join tree exists.
+func declOffsets(b *query.Bound) map[int]int {
+	offs := make(map[int]int, len(b.Tables))
+	width := 0
+	for i, t := range b.Tables {
+		offs[i] = width
+		width += t.Table.Schema.NumCols()
+	}
+	return offs
+}
+
+// declColumns lists every table's columns in declaration order, as
+// global indexes of the (possibly permuted) joined stream.
+func declColumns(b *query.Bound, offs map[int]int) []int {
+	var cols []int
+	for i, t := range b.Tables {
+		for c := 0; c < t.Table.Schema.NumCols(); c++ {
+			cols = append(cols, offs[i]+c)
+		}
+	}
+	return cols
+}
+
+func permuted(seq []int) bool {
+	for i, ti := range seq {
+		if ti != i {
+			return true
+		}
+	}
+	return false
+}
+
+// planSpecOrder decides the join order from zone-map metadata alone.
+// Greedy: start with the edge whose two tables' pruned cardinalities
+// sum smallest (the cheapest first join, smaller side leftmost), then
+// repeatedly fold in the cheapest unjoined table adjacent to the
+// joined set. FixedOrder instead walks tables in declaration order
+// (lowest-index adjacent table next) — the baseline the benchmarks
+// compare greedy against. Both orders early-exit to the empty plan
+// when any table prunes to zero blocks or any edge's zone-map unions
+// cannot overlap.
+func (r *Runner) planSpecOrder(b *query.Bound) specOrder {
+	n := len(b.Tables)
+	refs := make([][]core.BlockRef, n)
+	ests := make([]int, n)
+	for i, t := range b.Tables {
+		refs[i] = r.Ex.TableRefs(t.Table, t.Preds)
+		ests[i] = refRows(refs[i])
+		if ests[i] == 0 {
+			return specOrder{empty: true}
+		}
+	}
+	for _, e := range b.Joins {
+		for ai := range e.LCols {
+			lu := unionRange(refs[e.L], e.LCols[ai])
+			ru := unionRange(refs[e.R], e.RCols[ai])
+			if !lu.Overlaps(ru) {
+				// The two sides' value ranges are disjoint: no row pair can
+				// ever satisfy this edge, so the join is provably empty.
+				return specOrder{empty: true}
+			}
+		}
+	}
+	if n == 1 {
+		return specOrder{seq: []int{0}}
+	}
+
+	ord := specOrder{}
+	placed := make([]bool, n)
+	place := func(ti, ei int) {
+		ord.seq = append(ord.seq, ti)
+		placed[ti] = true
+		if ei >= 0 {
+			ord.edges = append(ord.edges, ei)
+		}
+	}
+
+	if r.FixedOrder {
+		place(0, -1)
+	} else {
+		// Cheapest first edge; the smaller side becomes the leftmost scan.
+		best := -1
+		for ei, e := range b.Joins {
+			if best < 0 || ests[e.L]+ests[e.R] < ests[b.Joins[best].L]+ests[b.Joins[best].R] {
+				best = ei
+			}
+		}
+		first, second := b.Joins[best].L, b.Joins[best].R
+		if ests[second] < ests[first] {
+			first, second = second, first
+		}
+		place(first, -1)
+		place(second, best)
+	}
+
+	for len(ord.seq) < n {
+		bestT, bestE := -1, -1
+		for ei, e := range b.Joins {
+			var cand int
+			switch {
+			case placed[e.L] && !placed[e.R]:
+				cand = e.R
+			case placed[e.R] && !placed[e.L]:
+				cand = e.L
+			default:
+				continue
+			}
+			better := bestT < 0
+			if !better {
+				if r.FixedOrder {
+					better = cand < bestT
+				} else {
+					better = ests[cand] < ests[bestT]
+				}
+			}
+			if better {
+				bestT, bestE = cand, ei
+			}
+		}
+		// Bind guarantees connectivity, so an adjacent table always exists.
+		place(bestT, bestE)
+	}
+	return ord
+}
+
+// unionRange folds the blocks' zone-map intervals on col into one
+// covering interval for the whole pruned ref set.
+func unionRange(refs []core.BlockRef, col int) predicate.Range {
+	var u predicate.Range
+	for i, ref := range refs {
+		rg := ref.JoinRange(col)
+		if i == 0 {
+			u = rg
+			continue
+		}
+		u = rangeUnion(u, rg)
+	}
+	return u
+}
+
+// rangeUnion is the smallest interval covering both inputs: bounds
+// survive only when both sides have them, ties stay open only when
+// both endpoints are open.
+func rangeUnion(a, b predicate.Range) predicate.Range {
+	var out predicate.Range
+	if a.HasLo && b.HasLo {
+		out.HasLo = true
+		switch c := value.Compare(a.Lo, b.Lo); {
+		case c < 0:
+			out.Lo, out.LoOpen = a.Lo, a.LoOpen
+		case c > 0:
+			out.Lo, out.LoOpen = b.Lo, b.LoOpen
+		default:
+			out.Lo, out.LoOpen = a.Lo, a.LoOpen && b.LoOpen
+		}
+	}
+	if a.HasHi && b.HasHi {
+		out.HasHi = true
+		switch c := value.Compare(a.Hi, b.Hi); {
+		case c > 0:
+			out.Hi, out.HiOpen = a.Hi, a.HiOpen
+		case c < 0:
+			out.Hi, out.HiOpen = b.Hi, b.HiOpen
+		default:
+			out.Hi, out.HiOpen = a.Hi, a.HiOpen && b.HiOpen
+		}
+	}
+	return out
+}
+
+// cachedSpecOrder memoizes planSpecOrder in the plan cache under the
+// spec fingerprint + table epochs + runner knobs. The ordering depends
+// on pruned cardinalities and zone maps, both functions of (layout
+// epoch, predicates), so the epoch-invalidation contract of table-join
+// plans carries over unchanged.
+func (r *Runner) cachedSpecOrder(b *query.Bound) specOrder {
+	if r.Cache == nil {
+		return r.planSpecOrder(b)
+	}
+	key := r.specKey(b)
+	if v, ok := r.Cache.getAny(key); ok {
+		if ord, typed := v.(specOrder); typed {
+			r.CacheHits++
+			return ord
+		}
+	}
+	ord := r.planSpecOrder(b)
+	r.Cache.putAny(key, ord)
+	r.CacheMisses++
+	return ord
+}
+
+// specKey renders everything planSpecOrder's answer depends on: the
+// spec's logical fingerprint (tables, aliases, predicates, the full
+// join graph, grouping — see query.Bound.Fingerprint), each table's
+// partitioning epoch, and the runner/executor knobs that steer
+// ordering and the downstream strategy decisions.
+func (r *Runner) specKey(b *query.Bound) string {
+	var sb strings.Builder
+	sb.Grow(192)
+	sb.WriteString("S|")
+	sb.WriteString(b.Fingerprint())
+	sb.WriteByte('|')
+	for i, t := range b.Tables {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(t.Table.Name)
+		sb.WriteByte('@')
+		sb.WriteString(strconv.FormatUint(r.epochOf(t.Table.Name), 10))
+	}
+	sb.WriteByte('|')
+	if r.ForceShuffle {
+		sb.WriteByte('F')
+	}
+	if r.Ex.NoPrune {
+		sb.WriteByte('N')
+	}
+	if r.FixedOrder {
+		sb.WriteByte('O')
+	}
+	sb.WriteString(strconv.Itoa(r.budget()))
+	sb.WriteByte(':')
+	sb.WriteString(strconv.FormatInt(r.Ex.MemLimit(), 10))
+	return sb.String()
+}

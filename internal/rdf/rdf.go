@@ -1,0 +1,156 @@
+// Package rdf generates an RDF-style skewed workload — the
+// non-TPC-H setting the adaptive window is supposed to win in (per
+// "Adaptive Partitioning for Very Large RDF Data"). The dataset is a
+// single wide triples relation (subject, predicate, object) over a
+// Zipf-distributed entity population — a handful of hub entities carry
+// most of the triples — plus a small entities relation (id, type).
+//
+// The workload shifts its join attribute the way RDF query mixes do:
+// subject-centric star queries (triples ⋈ entities on t_subject =
+// e_id) for a phase, then object-centric ones (t_object = e_id). A
+// static random partitioning pays a full shuffle on every query; the
+// adaptive session repartitions the triples onto the live join
+// attribute mid-stream and converts the rest of the phase to
+// co-partitioned hyper joins.
+package rdf
+
+import (
+	"math/rand"
+
+	"adaptdb/internal/core"
+	"adaptdb/internal/dfs"
+	"adaptdb/internal/predicate"
+	"adaptdb/internal/query"
+	"adaptdb/internal/schema"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+// Triples columns.
+const (
+	TSubject = iota
+	TPredicate
+	TObject
+)
+
+// Entities columns.
+const (
+	EID = iota
+	EType
+)
+
+// NumPredicates is the predicate-id domain (RDF vocabularies are
+// small; queries filter on one predicate at a time).
+const NumPredicates = 16
+
+// NumTypes is the entity-type domain the grouped queries aggregate
+// over.
+const NumTypes = 8
+
+// TriplesSchema is (subject, predicate, object), all entity/vocab ids.
+var TriplesSchema = schema.MustNew(
+	schema.Column{Name: "t_subject", Kind: value.Int},
+	schema.Column{Name: "t_predicate", Kind: value.Int},
+	schema.Column{Name: "t_object", Kind: value.Int},
+)
+
+// EntitiesSchema is (id, type).
+var EntitiesSchema = schema.MustNew(
+	schema.Column{Name: "e_id", Kind: value.Int},
+	schema.Column{Name: "e_type", Kind: value.Int},
+)
+
+// Dataset is one generated RDF-style instance.
+type Dataset struct {
+	Triples  []tuple.Tuple
+	Entities []tuple.Tuple
+}
+
+// Generate builds a dataset: nEntities entities and nTriples triples
+// whose subject and object ids follow independent Zipf laws (s≈1.2)
+// over the entity population. Deterministic per seed.
+func Generate(nTriples, nEntities int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	zSub := rand.NewZipf(rng, 1.2, 1, uint64(nEntities-1))
+	zObj := rand.NewZipf(rng, 1.2, 1, uint64(nEntities-1))
+	d := &Dataset{
+		Triples:  make([]tuple.Tuple, nTriples),
+		Entities: make([]tuple.Tuple, nEntities),
+	}
+	for i := range d.Entities {
+		d.Entities[i] = tuple.Tuple{
+			value.NewInt(int64(i)),
+			value.NewInt(rng.Int63n(NumTypes)),
+		}
+	}
+	for i := range d.Triples {
+		d.Triples[i] = tuple.Tuple{
+			value.NewInt(int64(zSub.Uint64())),
+			value.NewInt(rng.Int63n(NumPredicates)),
+			value.NewInt(int64(zObj.Uint64())),
+		}
+	}
+	return d
+}
+
+// Tables is a loaded dataset.
+type Tables struct {
+	Triples  *core.Table
+	Entities *core.Table
+}
+
+// Load loads the dataset over the store with random upfront
+// partitioning (no join trees) — the §7.3-style initial state the
+// adaptive session improves on.
+func (d *Dataset) Load(store *dfs.Store, rowsPerBlock int, seed int64) (*Tables, error) {
+	tr, err := core.Load(store, "triples", TriplesSchema, d.Triples, core.LoadOptions{
+		RowsPerBlock: rowsPerBlock, Seed: seed, JoinAttr: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	en, err := core.Load(store, "entities", EntitiesSchema, d.Entities, core.LoadOptions{
+		RowsPerBlock: rowsPerBlock, Seed: seed + 1, JoinAttr: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Tables{Triples: tr, Entities: en}, nil
+}
+
+// Catalog exposes the loaded tables for spec binding.
+func (tb *Tables) Catalog() query.Catalog {
+	return query.Catalog{"triples": tb.Triples, "entities": tb.Entities}
+}
+
+// star builds the phase query: triples anchored on an entity-id range
+// [lo, hi) of the given triple column (the way RDF star queries anchor
+// on an entity neighborhood), joined to entities on that column,
+// grouped by entity type with COUNT and an exact integer SUM. The
+// anchor range is the adaptive win: once the window repartitions
+// triples onto the live join column, zone maps prune the blocks
+// outside [lo, hi); under the random upfront layout every block spans
+// the whole id domain and nothing prunes.
+func star(label, joinCol string, lo, hi int64) query.Spec {
+	return query.Spec{
+		Label: label,
+		Tables: []query.TableRef{
+			{Name: "triples", Preds: []query.Pred{
+				{Col: joinCol, Op: predicate.GE, Val: value.NewInt(lo)},
+				{Col: joinCol, Op: predicate.LT, Val: value.NewInt(hi)},
+			}},
+			{Name: "entities"},
+		},
+		Joins:   []query.JoinEdge{query.On(query.C("triples", joinCol), query.C("entities", "e_id"))},
+		GroupBy: []query.Col{query.C("entities", "e_type")},
+		Aggs:    []query.Agg{query.Count(), query.Sum(query.C("triples", "t_object"))},
+	}
+}
+
+// SubjectSpec is a subject-centric star query over the entity-id
+// anchor range [lo, hi).
+func SubjectSpec(lo, hi int64) query.Spec { return star("rdf-subject", "t_subject", lo, hi) }
+
+// ObjectSpec is the shifted phase: the same star anchored on the
+// object column.
+func ObjectSpec(lo, hi int64) query.Spec { return star("rdf-object", "t_object", lo, hi) }

@@ -46,6 +46,7 @@ import (
 	"adaptdb/internal/exec"
 	"adaptdb/internal/optimizer"
 	"adaptdb/internal/planner"
+	"adaptdb/internal/query"
 	"adaptdb/internal/session"
 	"adaptdb/internal/tuple"
 )
@@ -194,7 +195,12 @@ func (s *Service) run(ctx context.Context, tenantID string, q session.Query, col
 	// Reserve the planner-estimated footprint before anything runs.
 	// The estimate reads zone maps, so it needs a stable layout.
 	s.layoutMu.RLock()
-	est := s.footprint(q.Plan)
+	var est int64
+	if q.Spec != nil {
+		est = s.footprintSpec(q.Spec)
+	} else {
+		est = s.footprint(q.Plan)
+	}
 	s.layoutMu.RUnlock()
 	res.EstBytes = est
 	qstart := time.Now()
@@ -261,7 +267,13 @@ func (s *Service) run(ctx context.Context, tenantID string, q session.Query, col
 	runner.ForceShuffle = s.cfg.ForceShuffle
 	runner.Cache = s.cache
 	runner.Epoch = s.Epoch
-	comp, err := runner.Compile(q.Plan)
+	var comp *planner.Compiled
+	var err error
+	if q.Spec != nil {
+		comp, err = runner.CompileSpec(q.Spec)
+	} else {
+		comp, err = runner.Compile(q.Plan)
+	}
 	res.CacheHits, res.CacheMisses = runner.CacheHits, runner.CacheMisses
 	if err != nil {
 		return res, err
@@ -276,8 +288,15 @@ func (s *Service) run(ctx context.Context, tenantID string, q session.Query, col
 			sum += fnv1a(scratch)
 		}
 		if collect {
-			for _, r := range b.Rows() {
-				res.Rows = append(res.Rows, append(tuple.Tuple(nil), r...))
+			if b.OwnsRows() {
+				// Owned rows die with the batch arena at Release — copy.
+				for _, r := range b.Rows() {
+					res.Rows = append(res.Rows, append(tuple.Tuple(nil), r...))
+				}
+			} else {
+				// View rows alias storage that outlives the batch; copying
+				// them again would double every materialized scan result.
+				res.Rows = append(res.Rows, b.Rows()...)
 			}
 		}
 		if sink != nil {
@@ -298,9 +317,24 @@ func (s *Service) run(ctx context.Context, tenantID string, q session.Query, col
 // the template executor (EstimateFootprint only reads zone maps).
 func (s *Service) footprint(n planner.Node) int64 {
 	r := planner.NewRunner(s.base, s.model)
-	est := r.EstimateFootprint(n)
+	return floorReserve(r.EstimateFootprint(n))
+}
+
+// footprintSpec is footprint for the declarative form: the throwaway
+// runner orders the spec the same way the compile will (same knobs)
+// and prices the resulting tree.
+func (s *Service) footprintSpec(b *query.Bound) int64 {
+	r := planner.NewRunner(s.base, s.model)
+	if s.cfg.BudgetBlocks > 0 {
+		r.BudgetBlocks = s.cfg.BudgetBlocks
+	}
+	r.ForceShuffle = s.cfg.ForceShuffle
+	return floorReserve(r.EstimateSpecFootprint(b))
+}
+
+func floorReserve(est int64) int64 {
 	if est < minReserve {
-		est = minReserve
+		return minReserve
 	}
 	return est
 }

@@ -36,21 +36,40 @@ import (
 	"adaptdb/internal/exec"
 	"adaptdb/internal/optimizer"
 	"adaptdb/internal/planner"
+	"adaptdb/internal/query"
 	"adaptdb/internal/tuple"
 )
 
-// Query is one query of the stream: an executable plan plus the
+// Query is one query of the stream: a declarative spec (the public
+// form) or an executable plan tree (the compiler IR), plus the
 // per-table touch descriptors that feed the query windows.
 type Query struct {
 	// Label tags results (e.g. the TPC-H template name); informational.
 	Label string
-	// Plan is the query's join tree over loaded tables.
+	// Spec is the bound declarative query — the public query surface.
+	// When set, the session lowers it with greedy join ordering
+	// (planner.CompileSpec) and Plan is ignored. Build one with
+	// FromSpec, which also derives Uses.
+	Spec *query.Bound
+	// Plan is the query's join tree over loaded tables — the planner's
+	// internal IR, still accepted for hand-built plans and tests.
 	Plan planner.Node
 	// Uses describes how the query touches each table (join attribute +
 	// predicates) — what the optimizer records into workload windows
 	// before adapting. A query that should not influence adaptation may
-	// leave it nil.
+	// leave it nil. FromSpec derives it from the join graph.
 	Uses []optimizer.TableUse
+}
+
+// FromSpec binds a declarative spec against the catalog and wraps it
+// as a stream query, deriving the optimizer touch descriptors from the
+// join graph — no hand-maintained Uses lists.
+func FromSpec(cat query.Catalog, s query.Spec) (Query, error) {
+	b, err := s.Bind(cat)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{Label: s.Label, Spec: b, Uses: b.Uses()}, nil
 }
 
 // Config tunes a session.
@@ -219,7 +238,12 @@ func (s *Session) run(q Query, collect bool, sink func(*exec.Batch) error) (*Res
 	}
 	res.Adapt = adapt
 
-	comp, err := s.runner.Compile(q.Plan)
+	var comp *planner.Compiled
+	if q.Spec != nil {
+		comp, err = s.runner.CompileSpec(q.Spec)
+	} else {
+		comp, err = s.runner.Compile(q.Plan)
+	}
 	if err != nil {
 		return res, fmt.Errorf("session: compile %q: %w", q.Label, err)
 	}
