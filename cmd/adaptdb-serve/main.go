@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"os"
 	"sync"
@@ -20,10 +21,14 @@ import (
 
 	"adaptdb/internal/cluster"
 	"adaptdb/internal/dfs"
+	adbnet "adaptdb/internal/net"
+	"adaptdb/internal/net/datasets"
 	"adaptdb/internal/optimizer"
+	"adaptdb/internal/query"
 	"adaptdb/internal/serve"
 	"adaptdb/internal/session"
 	"adaptdb/internal/tpch"
+	"adaptdb/internal/tuple"
 )
 
 // sessionSchedule mirrors cmd/adaptdb-bench: 24 orderkey-phase queries
@@ -78,22 +83,150 @@ type report struct {
 }
 
 func main() {
+	// The TCP transport re-execs this binary as worker processes: the
+	// dataset registry must be populated before MaybeWorker takes over
+	// a re-exec'd child.
+	datasets.Register()
+	adbnet.MaybeWorker()
+
 	var (
-		sf      = flag.Float64("sf", 0.01, "TPC-H micro scale factor")
-		rpb     = flag.Int("rows-per-block", 256, "rows per block")
-		nodes   = flag.Int("nodes", 4, "simulated cluster nodes")
-		clients = flag.Int("clients", 8, "concurrent client streams (tenants)")
-		mem     = flag.Int64("mem", 64<<20, "global admission memory budget in bytes (0 = unlimited)")
-		seed    = flag.Int64("seed", 42, "random seed (shared by every client: identical streams = the repeated-query phases)")
-		gate    = flag.Float64("hit-gate", 0.5, "minimum plan-cache hit rate; 0 disables the gate")
-		jsonOut = flag.Bool("json", false, "emit the report as JSON on stdout")
-		outPath = flag.String("out", "", "also write the JSON report to this file (e.g. BENCH_PR8.json)")
+		sf        = flag.Float64("sf", 0.01, "TPC-H micro scale factor")
+		rpb       = flag.Int("rows-per-block", 256, "rows per block")
+		nodes     = flag.Int("nodes", 4, "simulated cluster nodes")
+		clients   = flag.Int("clients", 8, "concurrent client streams (tenants)")
+		mem       = flag.Int64("mem", 64<<20, "global admission memory budget in bytes (0 = unlimited)")
+		seed      = flag.Int64("seed", 42, "random seed (shared by every client: identical streams = the repeated-query phases)")
+		gate      = flag.Float64("hit-gate", 0.5, "minimum plan-cache hit rate; 0 disables the gate")
+		transport = flag.String("transport", "sim", "execution transport: sim (in-process simulated fabric) or tcp (real worker processes; -nodes workers, serial replay vs in-process oracle)")
+		tcpQ      = flag.Int("tcp-queries", 16, "schedule length for -transport tcp")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON on stdout")
+		outPath   = flag.String("out", "", "also write the JSON report to this file (e.g. BENCH_PR8.json)")
 	)
 	flag.Parse()
-	if err := run(*sf, *rpb, *nodes, *clients, *mem, *seed, *gate, *jsonOut, *outPath); err != nil {
+	var err error
+	switch *transport {
+	case "sim":
+		err = run(*sf, *rpb, *nodes, *clients, *mem, *seed, *gate, *jsonOut, *outPath)
+	case "tcp":
+		err = runTCP(*sf, *rpb, *nodes, *tcpQ, *seed, *jsonOut)
+	default:
+		err = fmt.Errorf("unknown -transport %q (want sim or tcp)", *transport)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "adaptdb-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// runTCP is the multi-process smoke: the adaptive shift schedule
+// replayed serially through a session dispatching to -nodes real TCP
+// worker processes, self-gated on per-query checksum equality with the
+// same stream over the in-process simulated fabric.
+func runTCP(sf float64, rpb, nodes, queries int, seed int64, jsonOut bool) error {
+	sched := sessionSchedule()
+	if queries > 0 && queries < len(sched) {
+		half := sched[:24]
+		sched = append(append([]tpch.Template(nil), half[:(queries+1)/2]...), sched[24:24+queries/2]...)
+	}
+	model := cluster.Default()
+	model.Nodes = nodes
+	optCfg := optimizer.Config{Mode: optimizer.ModeAdaptive, WindowSize: 5, Seed: seed}
+	params := datasets.TPCHParams{SF: sf, RowsPerBlock: rpb, Nodes: nodes, Seed: seed}
+
+	digest := func(rows []tuple.Tuple) uint64 {
+		var sum uint64
+		var scratch []byte
+		for _, r := range rows {
+			scratch = r.AppendBinary(scratch[:0])
+			h := fnv.New64a()
+			h.Write(scratch)
+			sum += h.Sum64()
+		}
+		return sum
+	}
+	replay := func(s *session.Session, cat query.Catalog, data *tpch.Dataset) ([]uint64, error) {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]uint64, 0, len(sched))
+		for qi, tpl := range sched {
+			q, err := session.FromSpec(cat, tpch.NewInstance(tpl, data, rng).Spec())
+			if err != nil {
+				return nil, fmt.Errorf("q%d (%s): %w", qi, tpl, err)
+			}
+			res, err := s.Execute(q)
+			if err != nil {
+				return nil, fmt.Errorf("q%d (%s): %w", qi, tpl, err)
+			}
+			out = append(out, digest(res.Rows))
+		}
+		return out, nil
+	}
+
+	store, data, tables, err := datasets.BuildTPCH(params)
+	if err != nil {
+		return err
+	}
+	sim := session.New(store, session.Config{Model: model, Optimizer: optCfg, Distributed: nodes > 1})
+	simStart := time.Now()
+	want, err := replay(sim, tables.Catalog(), data)
+	if err != nil {
+		return fmt.Errorf("sim oracle: %w", err)
+	}
+	simWall := time.Since(simStart)
+
+	cl, err := adbnet.Start(adbnet.Options{
+		Workers:   nodes,
+		Fragments: nodes,
+		Dataset:   datasets.TPCHName,
+		Params:    params,
+		Exec: adbnet.ExecConfig{
+			Model:     model,
+			Optimizer: adbnet.OptimizerConfig{Mode: int(optCfg.Mode), WindowSize: optCfg.WindowSize, Seed: optCfg.Seed},
+		},
+		KeepAlive:    2 * time.Second,
+		SetupTimeout: 10 * time.Minute,
+	})
+	if err != nil {
+		return fmt.Errorf("start cluster: %w", err)
+	}
+	defer cl.Close()
+	store2, data2, tables2, err := datasets.BuildTPCH(params)
+	if err != nil {
+		return err
+	}
+	s := session.New(store2, session.Config{Model: model, Optimizer: optCfg, Net: cl})
+	tcpStart := time.Now()
+	got, err := replay(s, tables2.Catalog(), data2)
+	if err != nil {
+		return fmt.Errorf("tcp replay: %w", err)
+	}
+	tcpWall := time.Since(tcpStart)
+
+	mismatches := 0
+	for qi := range want {
+		if got[qi] != want[qi] {
+			mismatches++
+			fmt.Fprintf(os.Stderr, "checksum drift: q%d: tcp %016x, sim %016x\n", qi, got[qi], want[qi])
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"sf": sf, "nodes": nodes, "queries": len(sched), "seed": seed,
+			"sim_wall_ms": simWall.Milliseconds(), "tcp_wall_ms": tcpWall.Milliseconds(),
+			"checksum_match": mismatches == 0, "mismatches": mismatches,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("adaptdb-serve tcp smoke: SF=%.4g, %d workers, %d queries\n", sf, nodes, len(sched))
+		fmt.Printf("  sim %6d ms / tcp %6d ms, checksums match=%v\n",
+			simWall.Milliseconds(), tcpWall.Milliseconds(), mismatches == 0)
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d checksum mismatches between TCP and simulated execution", mismatches)
+	}
+	return nil
 }
 
 func run(sf float64, rpb, nodes, clients int, mem, seed int64, gate float64, jsonOut bool, outPath string) error {

@@ -1,0 +1,115 @@
+package cluster
+
+import "testing"
+
+// TestLinkWeightsDerivation: weights come out normalized to mean 1,
+// proportional to measured ns-per-byte, and loopback/untimed links are
+// excluded.
+func TestLinkWeightsDerivation(t *testing.T) {
+	s := make(LinkStats)
+	// Link 0→1: 1000 bytes in 1000 ns (1 ns/B). Link 1→0: 1000 bytes in
+	// 3000 ns (3 ns/B). Loopback and untimed traffic must not skew it.
+	s.Add(LinkKey{0, 1}, 10, 1000, 1000)
+	s.Add(LinkKey{1, 0}, 10, 1000, 3000)
+	s.Add(LinkKey{2, 2}, 99, 1<<20, 1<<30) // loopback: ignored
+	s.Add(LinkKey{0, 2}, 10, 500, 0)       // no timing: ignored
+
+	w := s.Weights()
+	if got := w.Of(LinkKey{0, 1}); !almost(got, 0.5) {
+		t.Errorf("fast link weight = %v, want 0.5", got)
+	}
+	if got := w.Of(LinkKey{1, 0}); !almost(got, 1.5) {
+		t.Errorf("slow link weight = %v, want 1.5", got)
+	}
+	if got := w.Of(LinkKey{0, 2}); got != 1 {
+		t.Errorf("unmeasured link weight = %v, want 1", got)
+	}
+	if got := w.Mean(); !almost(got, 1.0) {
+		t.Errorf("mean weight = %v, want 1", got)
+	}
+}
+
+// TestLinkWeightsEmpty: nil/empty stats derive nil weights, and a nil
+// weights map prices every link at 1 — the flat pre-link behavior.
+func TestLinkWeightsEmpty(t *testing.T) {
+	var s LinkStats
+	if w := s.Weights(); w != nil {
+		t.Errorf("empty stats derived weights %v", w)
+	}
+	var w LinkWeights
+	if got := w.Of(LinkKey{3, 4}); got != 1 {
+		t.Errorf("nil weights Of = %v, want 1", got)
+	}
+	if got := w.Mean(); got != 1 {
+		t.Errorf("nil weights Mean = %v, want 1", got)
+	}
+}
+
+// TestAddExchangeAtFlat: without installed weights, AddExchangeAt's
+// weighted counter coincides with ExchRemoteRows, so CostUnits is
+// bit-identical to the flat pricing.
+func TestAddExchangeAtFlat(t *testing.T) {
+	m := &Meter{}
+	m.AddExchangeAt(0, 1, 100, 4000, true)
+	m.AddExchangeAt(1, 1, 50, 0, false)
+	c := m.Snapshot()
+	if c.ExchRemoteRows != 100 || c.ExchLocalRows != 50 {
+		t.Fatalf("rows: remote=%v local=%v", c.ExchRemoteRows, c.ExchLocalRows)
+	}
+	if c.ExchWeightedRows != c.ExchRemoteRows {
+		t.Errorf("unweighted ExchWeightedRows = %v, want %v", c.ExchWeightedRows, c.ExchRemoteRows)
+	}
+	model := Default()
+	flat := Counters{ExchRemoteRows: 100}
+	if got, want := c.CostUnits(model), flat.CostUnits(model); got != want {
+		t.Errorf("CostUnits = %v, want flat %v", got, want)
+	}
+}
+
+// TestAddExchangeAtWeighted: installed weights scale the weighted
+// counter per link, and CostUnits prefers it.
+func TestAddExchangeAtWeighted(t *testing.T) {
+	m := &Meter{}
+	m.SetLinkWeights(LinkWeights{
+		{0, 1}: 2.0,
+		{1, 0}: 0.5,
+	})
+	m.AddExchangeAt(0, 1, 100, 0, true) // ×2
+	m.AddExchangeAt(1, 0, 100, 0, true) // ×0.5
+	m.AddExchangeAt(2, 3, 100, 0, true) // unmeasured ×1
+	c := m.Snapshot()
+	if want := 100*2.0 + 100*0.5 + 100*1.0; !almost(c.ExchWeightedRows, want) {
+		t.Errorf("ExchWeightedRows = %v, want %v", c.ExchWeightedRows, want)
+	}
+	model := Default()
+	if got, want := c.CostUnits(model), c.ExchWeightedRows*model.ExchangeRowFactor; !almost(got, want) {
+		t.Errorf("CostUnits = %v, want %v", got, want)
+	}
+}
+
+// TestLinkStatsMeterRoundTrip: the meter accumulates per-link traffic
+// (AddExchangeAt rows/bytes + AddLinkNanos timing), hands it over via
+// ResetLinks, and LinkStats.Merge folds histories together.
+func TestLinkStatsMeterRoundTrip(t *testing.T) {
+	m := &Meter{}
+	m.AddExchangeAt(0, 1, 10, 400, true)
+	m.AddLinkNanos(0, 1, 0, 8000)
+	s := m.ResetLinks()
+	if st := s[LinkKey{0, 1}]; st.Rows != 10 || st.Bytes != 400 || st.Nanos != 8000 {
+		t.Fatalf("link stat = %+v", st)
+	}
+	if again := m.ResetLinks(); len(again) != 0 {
+		t.Fatalf("ResetLinks did not clear: %v", again)
+	}
+
+	hist := make(LinkStats)
+	hist.Merge(s)
+	hist.Merge(s)
+	if st := hist[LinkKey{0, 1}]; st.Rows != 20 || st.Nanos != 16000 {
+		t.Fatalf("merged stat = %+v", st)
+	}
+	keys := hist.Keys()
+	if len(keys) != 1 || keys[0] != (LinkKey{0, 1}) {
+		t.Fatalf("keys = %v", keys)
+	}
+}

@@ -1,0 +1,121 @@
+// The TCP leg of the spec differential: the same generated query
+// graphs RunSpecCase proves over the in-process surfaces, executed
+// over a real multi-process-style cluster (coordinator session + TCP
+// worker endpoints), and diffed bit-for-bit against both the
+// centralized reference evaluation and a simulated-NodeSet session.
+// Spec cases are pure functions of their seed, which is exactly what
+// the cluster's deterministic-replica contract needs: the dataset
+// builder re-generates and re-loads the case in every worker process
+// from (seed, nodes) alone.
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"adaptdb/internal/dfs"
+	adbnet "adaptdb/internal/net"
+	"adaptdb/internal/optimizer"
+	"adaptdb/internal/query"
+	"adaptdb/internal/session"
+)
+
+// SpecDatasetName is the registered builder for GenSpecCase replicas.
+const SpecDatasetName = "difftest-spec"
+
+// SpecDatasetParams serializes a spec-case replica recipe.
+type SpecDatasetParams struct {
+	Seed  int64
+	Nodes int
+}
+
+// RegisterSpecDataset installs the spec-case dataset builder; test
+// mains must call it before adbnet.MaybeWorker so re-exec'd worker
+// processes can rebuild their replicas.
+func RegisterSpecDataset() {
+	adbnet.RegisterDataset(SpecDatasetName, func(raw json.RawMessage) (*dfs.Store, query.Catalog, error) {
+		var p SpecDatasetParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, nil, fmt.Errorf("difftest: decode spec params: %w", err)
+		}
+		return loadSpecTables(GenSpecCase(p.Seed), p.Nodes)
+	})
+}
+
+// RunSpecCaseTCP runs one case's declarative query through a session
+// dispatching to TCP workers and diffs the rows against the reference
+// evaluation and against a simulated-NodeSet session over an identical
+// store. dataset names the builder the workers rebuild the case from —
+// SpecDatasetName for generated cases, or any custom registration that
+// reproduces c exactly (the coordinator replica here is always built
+// from c itself).
+func RunSpecCaseTCP(c SpecCase, dataset string, nodes, workers int) error {
+	cl, err := adbnet.Start(adbnet.Options{
+		Workers:   workers,
+		Fragments: nodes,
+		Dataset:   dataset,
+		Params:    SpecDatasetParams{Seed: c.Seed, Nodes: nodes},
+		Exec: adbnet.ExecConfig{
+			MemBudget: c.Budget,
+			Optimizer: adbnet.OptimizerConfig{Mode: int(optimizer.ModeStatic), WindowSize: 4, Seed: c.Seed},
+		},
+		InProcess: true,
+		KeepAlive: 500 * time.Millisecond,
+	})
+	if err != nil {
+		return fmt.Errorf("%s: start cluster: %w", c, err)
+	}
+	defer cl.Close()
+
+	store, cat, err := loadSpecTables(c, nodes)
+	if err != nil {
+		return fmt.Errorf("%s: %w", c, err)
+	}
+	bound, err := c.Spec.Bind(cat)
+	if err != nil {
+		return fmt.Errorf("%s: bind: %w", c, err)
+	}
+	want := RefSpec(c, bound)
+
+	s := session.New(store, session.Config{
+		Optimizer: optimizer.Config{Mode: optimizer.ModeStatic, WindowSize: 4, Seed: c.Seed},
+		MemBudget: c.Budget,
+		Net:       cl,
+	})
+	q, err := session.FromSpec(cat, c.Spec)
+	if err != nil {
+		return fmt.Errorf("%s: FromSpec: %w", c, err)
+	}
+	res, err := s.Execute(q)
+	if err != nil {
+		return fmt.Errorf("%s: tcp[nodes=%d,workers=%d]: %w", c, nodes, workers, err)
+	}
+	if err := diffRows(fmt.Sprintf("tcp[nodes=%d,workers=%d] vs reference", nodes, workers), res.Rows, want); err != nil {
+		return fmt.Errorf("%s: %w", c, err)
+	}
+
+	// And against the simulated NodeSet over a second identical store:
+	// the two fabrics must be interchangeable row for row.
+	store2, cat2, err := loadSpecTables(c, nodes)
+	if err != nil {
+		return fmt.Errorf("%s: %w", c, err)
+	}
+	sim := session.New(store2, session.Config{
+		Optimizer:   optimizer.Config{Mode: optimizer.ModeStatic, WindowSize: 4, Seed: c.Seed},
+		MemBudget:   c.Budget,
+		Distributed: nodes > 1,
+	})
+	q2, err := session.FromSpec(cat2, c.Spec)
+	if err != nil {
+		return fmt.Errorf("%s: FromSpec: %w", c, err)
+	}
+	sres, err := sim.Execute(q2)
+	if err != nil {
+		return fmt.Errorf("%s: sim[nodes=%d]: %w", c, nodes, err)
+	}
+	if err := diffRows(fmt.Sprintf("tcp[nodes=%d,workers=%d] vs sim", nodes, workers), res.Rows, sres.Rows); err != nil {
+		return fmt.Errorf("%s: %w", c, err)
+	}
+	return nil
+}

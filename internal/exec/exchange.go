@@ -348,9 +348,11 @@ func (x *Exchange) packColGather(pend []*Batch, d int, cb *tuple.Columns, idxs [
 }
 
 // meterSink is the single method exchanges need from a meter; it keeps
-// produce/pack testable and the accounting point explicit.
+// produce/pack testable and the accounting point explicit. The (src,
+// dst) link identity feeds the per-link accounting of cluster/links.go
+// (cluster.Meter satisfies this via AddExchangeAt).
 type meterSink interface {
-	AddExchange(rows, bytes int, remote bool)
+	AddExchangeAt(src, dst int, rows, bytes int, remote bool)
 }
 
 // send hands a packed batch to destination d's consumer, metering the
@@ -369,7 +371,7 @@ func (x *Exchange) send(d int, b *Batch, src int, meter meterSink) {
 			}
 		}
 	}
-	meter.AddExchange(b.Len(), bytes, remote)
+	meter.AddExchangeAt(src, d, b.Len(), bytes, remote)
 	o := x.outs[d]
 	if o.mem != nil {
 		// In-flight exchange batches charge the destination node's

@@ -60,6 +60,11 @@ type Executor struct {
 	pinned bool
 	// nodes is the per-node execution fabric, nil in centralized mode.
 	nodes *NodeSet
+	// xfabric, when set, overrides nodes as the execution fabric the
+	// distributed compiler lowers onto (SetFabric/ExecFabric, fabric.go).
+	// The TCP coordinator and workers install their per-query network
+	// fabric here; nil falls back to the simulated NodeSet fabric.
+	xfabric Fabric
 	// ctx cancels in-flight operators at batch boundaries; nil means
 	// non-cancellable. Set via BindContext or ForQuery (query.go).
 	ctx context.Context

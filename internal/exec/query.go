@@ -91,6 +91,10 @@ func (e *Executor) BindContext(ctx context.Context) {
 	}
 }
 
+// Ctx returns the bound execution context (nil when none was bound) —
+// the network fabric threads it into attempt lifecycles.
+func (e *Executor) Ctx() context.Context { return e.ctx }
+
 // ctxErr reports the executor's cancellation state: nil while the
 // query may proceed, ctx.Err() once it is cancelled or past deadline.
 // Hot loops call this once per batch, not per row.

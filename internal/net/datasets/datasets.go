@@ -1,0 +1,58 @@
+// Package datasets holds the deterministic dataset builders shared by
+// every process of a TCP cluster. Replication in internal/net is
+// determinism, not data shipping: the coordinator and each worker run
+// the same builder with the same parameters and get byte-identical
+// store replicas. Binaries and test mains call Register (then
+// net.MaybeWorker) so re-exec'd worker processes can rebuild them.
+package datasets
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"adaptdb/internal/dfs"
+	adbnet "adaptdb/internal/net"
+	"adaptdb/internal/query"
+	"adaptdb/internal/tpch"
+)
+
+// TPCHName is the registry name of the TPC-H builder.
+const TPCHName = "tpch"
+
+// TPCHParams parameterizes one deterministic TPC-H replica.
+type TPCHParams struct {
+	SF           float64
+	RowsPerBlock int
+	Nodes        int
+	Seed         int64
+}
+
+// BuildTPCH builds the replica: generate the micro TPC-H dataset from
+// the seed, load it over a fresh nodes-wide store.
+func BuildTPCH(p TPCHParams) (*dfs.Store, *tpch.Dataset, *tpch.Tables, error) {
+	if p.Nodes < 1 || p.SF <= 0 || p.RowsPerBlock < 1 {
+		return nil, nil, nil, fmt.Errorf("datasets: bad tpch params %+v", p)
+	}
+	store := dfs.NewStore(p.Nodes, 2, p.Seed)
+	data := tpch.Generate(p.SF, p.Seed)
+	tables, err := tpch.LoadAll(store, data, tpch.LoadConfig{RowsPerBlock: p.RowsPerBlock, Seed: p.Seed})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return store, data, tables, nil
+}
+
+// Register installs the builders into the process-local registry.
+func Register() {
+	adbnet.RegisterDataset(TPCHName, func(raw json.RawMessage) (*dfs.Store, query.Catalog, error) {
+		var p TPCHParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, nil, fmt.Errorf("datasets: decode tpch params: %w", err)
+		}
+		store, _, tables, err := BuildTPCH(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return store, tables.Catalog(), nil
+	})
+}

@@ -1,0 +1,122 @@
+// Network fault injection — the socket-layer mirror of exec's spillFS
+// seam. A FaultPlan rides in a query message and arms exactly one
+// process's connections: when the Nth frame of the targeted type is
+// about to be written, the connection resets (RST via zero linger),
+// writes half a frame and dies, stalls silently (both sides' keepalive
+// deadlines then declare it dead), or the whole process exits — the
+// mid-stream node kill. Every fault either fails the query with a
+// surfaced error or is transparently retried on a replica; the fault
+// test wall sweeps kinds × protocol points and asserts exactly that.
+package net
+
+import (
+	"encoding/binary"
+	"os"
+)
+
+// Fault kinds.
+const (
+	FaultReset   = "reset"   // abrupt close with RST
+	FaultPartial = "partial" // write a truncated frame, then reset
+	FaultStall   = "stall"   // stop writing and answering; deadlines fire
+	FaultKill    = "kill"    // os.Exit mid-stream — the node death
+)
+
+// FaultPlan arms one fault in one process for one query. Msg names the
+// protocol point by frame type ("data", "eos", "credit", "qdone");
+// After is the 1-based count of matching frames written before the
+// fault fires. Peer restricts the arm to the connection toward one
+// process (-1 arms every connection, firing on whichever writes the
+// Nth matching frame first).
+type FaultPlan struct {
+	Proc  int
+	Peer  int
+	Msg   string
+	After int
+	Kind  string
+}
+
+func (f *FaultPlan) matchesMsg(typ byte) bool {
+	return f != nil && f.Msg == msgName(typ)
+}
+
+// arm installs the plan on this connection (peer already filtered by
+// the caller). onKill, when non-nil, handles a kill fault instead of
+// os.Exit — in-process workers emulate node death by dropping all
+// their connections, since exiting would take the test binary with
+// them.
+func (c *conn) arm(f *FaultPlan, onKill func()) {
+	c.faultMu.Lock()
+	c.fault = f
+	c.faultN = 0
+	c.onKill = onKill
+	c.faultMu.Unlock()
+}
+
+func (c *conn) stallActive() bool {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	return c.stalled
+}
+
+// checkFault fires an armed fault when the Nth matching frame is about
+// to be written. It returns true when the write must be swallowed
+// (stall) — reset/partial kill the connection instead, and kill never
+// returns. Called under the writer mutex.
+func (c *conn) checkFault(typ byte) bool {
+	c.faultMu.Lock()
+	if c.stalled {
+		c.faultMu.Unlock()
+		return true
+	}
+	f := c.fault
+	if f == nil || !f.matchesMsg(typ) {
+		c.faultMu.Unlock()
+		return false
+	}
+	c.faultN++
+	if c.faultN < f.After {
+		c.faultMu.Unlock()
+		return false
+	}
+	c.fault = nil // one-shot
+	kind := f.Kind
+	if kind == FaultStall {
+		c.stalled = true
+	}
+	kill := c.onKill
+	c.faultMu.Unlock()
+
+	switch kind {
+	case FaultKill:
+		if kill != nil {
+			kill()
+			return true
+		}
+		os.Exit(1)
+	case FaultStall:
+		return true
+	case FaultPartial:
+		// Half a frame: a length prefix promising more than arrives.
+		var hdr [5]byte
+		binary.LittleEndian.PutUint32(hdr[:4], 64)
+		hdr[4] = typ
+		c.nc.Write(hdr[:])
+		fallthrough
+	case FaultReset:
+		abruptClose(c)
+	}
+	return true
+}
+
+// abruptClose drops the connection with an RST where the platform
+// allows it, so the peer sees a hard failure, not a graceful EOF.
+func abruptClose(c *conn) {
+	type lingerer interface{ SetLinger(int) error }
+	if tc, ok := c.nc.(lingerer); ok {
+		tc.SetLinger(0)
+	}
+	c.die(errFault)
+}
+
+var errFault = &NetError{Msg: "injected fault"}

@@ -1,0 +1,354 @@
+// End-to-end tests of the TCP fabric: a session over real sockets must
+// be bit-identical to the same stream over the in-process simulated
+// fabric, at every node count, with and without worker death.
+package net_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"adaptdb/internal/cluster"
+	"adaptdb/internal/exec"
+	adbnet "adaptdb/internal/net"
+	"adaptdb/internal/net/datasets"
+	"adaptdb/internal/optimizer"
+	"adaptdb/internal/query"
+	"adaptdb/internal/session"
+	"adaptdb/internal/tpch"
+	"adaptdb/internal/tuple"
+)
+
+func TestMain(m *testing.M) {
+	datasets.Register()
+	adbnet.MaybeWorker() // re-exec'd worker processes never return from this
+	os.Exit(m.Run())
+}
+
+// rowsChecksum is the order-independent result digest (the serve-layer
+// convention): the sum of per-row 64-bit FNV-1a hashes. Gather arrival
+// order is nondeterministic on both fabrics, so digests must not
+// depend on it.
+func rowsChecksum(rows []tuple.Tuple) uint64 {
+	var sum uint64
+	var scratch []byte
+	for _, r := range rows {
+		scratch = r.AppendBinary(scratch[:0])
+		h := fnv.New64a()
+		h.Write(scratch)
+		sum += h.Sum64()
+	}
+	return sum
+}
+
+// shiftSchedule is a compressed §7.3 join-attribute shift: orderkey
+// phase (q5/q3) then partkey phase (q8/q14).
+func shiftSchedule(n int) []tpch.Template {
+	var out []tpch.Template
+	for i := 0; i < n; i++ {
+		out = append(out, []tpch.Template{tpch.Q5, tpch.Q3}[i%2])
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, []tpch.Template{tpch.Q8, tpch.Q14}[i%2])
+	}
+	return out
+}
+
+const (
+	testSF   = 0.01
+	testRPB  = 128
+	testSeed = 42
+)
+
+func testParams(nodes int) datasets.TPCHParams {
+	return datasets.TPCHParams{SF: testSF, RowsPerBlock: testRPB, Nodes: nodes, Seed: testSeed}
+}
+
+func testModel(nodes int) cluster.CostModel {
+	m := cluster.Default()
+	m.Nodes = nodes
+	return m
+}
+
+// startTPCH starts a cluster and builds the coordinator's session over
+// its own replica of the same dataset.
+func startTPCH(t *testing.T, workers, nodes int, inProcess bool) (*adbnet.Cluster, *session.Session, query.Catalog, *tpch.Dataset) {
+	t.Helper()
+	p := testParams(nodes)
+	cl, err := adbnet.Start(adbnet.Options{
+		Workers:   workers,
+		Fragments: nodes,
+		Dataset:   datasets.TPCHName,
+		Params:    p,
+		Exec: adbnet.ExecConfig{
+			Model:     testModel(nodes),
+			Optimizer: adbnet.OptimizerConfig{Mode: int(optimizer.ModeAdaptive), WindowSize: 5, Seed: testSeed},
+		},
+		InProcess: inProcess,
+		KeepAlive: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	store, data, tables, err := datasets.BuildTPCH(p)
+	if err != nil {
+		t.Fatalf("build coordinator replica: %v", err)
+	}
+	s := session.New(store, session.Config{
+		Model:     testModel(nodes),
+		Optimizer: optimizer.Config{Mode: optimizer.ModeAdaptive, WindowSize: 5, Seed: testSeed},
+		Net:       cl,
+	})
+	return cl, s, tables.Catalog(), data
+}
+
+// simDigests replays the schedule over the in-process simulated fabric
+// (a fresh identical store) — the oracle every TCP run must match.
+func simDigests(t *testing.T, nodes int, schedule []tpch.Template) []uint64 {
+	t.Helper()
+	store, data, tables, err := datasets.BuildTPCH(testParams(nodes))
+	if err != nil {
+		t.Fatalf("build sim replica: %v", err)
+	}
+	s := session.New(store, session.Config{
+		Model:       testModel(nodes),
+		Optimizer:   optimizer.Config{Mode: optimizer.ModeAdaptive, WindowSize: 5, Seed: testSeed},
+		Distributed: nodes > 1,
+	})
+	cat := tables.Catalog()
+	rng := rand.New(rand.NewSource(testSeed))
+	out := make([]uint64, 0, len(schedule))
+	for qi, tpl := range schedule {
+		q, err := session.FromSpec(cat, tpch.NewInstance(tpl, data, rng).Spec())
+		if err != nil {
+			t.Fatalf("sim q%d (%s): %v", qi, tpl, err)
+		}
+		res, err := s.Execute(q)
+		if err != nil {
+			t.Fatalf("sim q%d (%s): %v", qi, tpl, err)
+		}
+		out = append(out, rowsChecksum(res.Rows))
+	}
+	return out
+}
+
+// TestTCPSessionMatchesSim is the tentpole assertion: the adaptive
+// TPC-H stream over real sockets is bit-identical to the simulated
+// fabric at 1, 4, and 8 fragments.
+func TestTCPSessionMatchesSim(t *testing.T) {
+	defer exec.VerifyNoLeaks(t)
+	schedule := shiftSchedule(3)
+	for _, nodes := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			want := simDigests(t, nodes, schedule)
+			cl, s, cat, data := startTPCH(t, nodes, nodes, true)
+			rng := rand.New(rand.NewSource(testSeed))
+			for qi, tpl := range schedule {
+				q, err := session.FromSpec(cat, tpch.NewInstance(tpl, data, rng).Spec())
+				if err != nil {
+					t.Fatalf("tcp q%d (%s): %v", qi, tpl, err)
+				}
+				res, err := s.Execute(q)
+				if err != nil {
+					t.Fatalf("tcp q%d (%s): %v", qi, tpl, err)
+				}
+				if got := rowsChecksum(res.Rows); got != want[qi] {
+					t.Fatalf("q%d (%s): tcp checksum %016x != sim %016x (%d rows)", qi, tpl, got, want[qi], res.RowCount)
+				}
+			}
+			if live := cl.LiveWorkers(); live != nodes {
+				t.Fatalf("expected %d live workers, have %d", nodes, live)
+			}
+		})
+	}
+}
+
+// TestTCPFailover kills a worker mid-query (the kill fault on its Nth
+// data frame) and asserts the query still completes — on a surviving
+// replica — with the simulated fabric's exact checksum.
+func TestTCPFailover(t *testing.T) {
+	defer exec.VerifyNoLeaks(t)
+	const nodes = 4
+	schedule := []tpch.Template{tpch.Q5, tpch.Q3, tpch.Q5}
+	want := simDigests(t, nodes, schedule)
+
+	cl, s, cat, data := startTPCH(t, nodes, nodes, true)
+	rng := rand.New(rand.NewSource(testSeed))
+	for qi, tpl := range schedule {
+		if qi == 1 {
+			// Worker 2 dies on its 2nd data frame of this query.
+			cl.ArmFault(&adbnet.FaultPlan{Proc: 2, Peer: -1, Msg: "data", After: 2, Kind: adbnet.FaultKill})
+		}
+		q, err := session.FromSpec(cat, tpch.NewInstance(tpl, data, rng).Spec())
+		if err != nil {
+			t.Fatalf("q%d (%s): %v", qi, tpl, err)
+		}
+		res, err := s.Execute(q)
+		if err != nil {
+			t.Fatalf("q%d (%s): %v", qi, tpl, err)
+		}
+		if got := rowsChecksum(res.Rows); got != want[qi] {
+			t.Fatalf("q%d (%s): checksum %016x != sim %016x (%d rows)", qi, tpl, got, want[qi], res.RowCount)
+		}
+	}
+	if live := cl.LiveWorkers(); live != nodes-1 {
+		t.Fatalf("expected %d live workers after the kill, have %d", nodes-1, live)
+	}
+	cl.Close() // before the deferred leak check (t.Cleanup runs after it)
+}
+
+// TestTCPRealProcesses runs the differential through genuinely spawned
+// worker processes — the re-exec path CI's smoke job drives.
+func TestTCPRealProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	defer exec.VerifyNoLeaks(t)
+	const nodes = 4
+	schedule := []tpch.Template{tpch.Q5, tpch.Q3}
+	want := simDigests(t, nodes, schedule)
+	cl, s, cat, data := startTPCH(t, nodes, nodes, false)
+	rng := rand.New(rand.NewSource(testSeed))
+	for qi, tpl := range schedule {
+		q, err := session.FromSpec(cat, tpch.NewInstance(tpl, data, rng).Spec())
+		if err != nil {
+			t.Fatalf("q%d (%s): %v", qi, tpl, err)
+		}
+		res, err := s.Execute(q)
+		if err != nil {
+			t.Fatalf("q%d (%s): %v", qi, tpl, err)
+		}
+		if got := rowsChecksum(res.Rows); got != want[qi] {
+			t.Fatalf("q%d (%s): tcp checksum %016x != sim %016x", qi, tpl, got, want[qi])
+		}
+	}
+	cl.Close() // before the deferred leak check (t.Cleanup runs after it)
+}
+
+// startSweep is startTPCH with tight memory budgets (so spill paths run
+// under the faults too) and an observable coordinator spill dir.
+func startSweep(t *testing.T, workers, nodes int) (*adbnet.Cluster, *session.Session, query.Catalog, *tpch.Dataset) {
+	t.Helper()
+	const memBudget = 1 << 20
+	p := testParams(nodes)
+	cl, err := adbnet.Start(adbnet.Options{
+		Workers:   workers,
+		Fragments: nodes,
+		Dataset:   datasets.TPCHName,
+		Params:    p,
+		Exec: adbnet.ExecConfig{
+			Model:     testModel(nodes),
+			MemBudget: memBudget,
+			Optimizer: adbnet.OptimizerConfig{Mode: int(optimizer.ModeAdaptive), WindowSize: 5, Seed: testSeed},
+		},
+		InProcess: true,
+		KeepAlive: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	store, data, tables, err := datasets.BuildTPCH(p)
+	if err != nil {
+		t.Fatalf("build coordinator replica: %v", err)
+	}
+	s := session.New(store, session.Config{
+		Model:     testModel(nodes),
+		Optimizer: optimizer.Config{Mode: optimizer.ModeAdaptive, WindowSize: 5, Seed: testSeed},
+		MemBudget: memBudget,
+		SpillDir:  t.TempDir(),
+		Net:       cl,
+	})
+	return cl, s, tables.Catalog(), data
+}
+
+// TestTCPFaultSweep drives every fault kind through every protocol
+// point (the Nth data / eos / credit / qdone frame a worker writes
+// toward the coordinator) and pins the fault contract: each injected
+// fault either surfaces an error or the query transparently retries on
+// a replica with the simulated fabric's exact checksum — and after
+// every successful query the coordinator's memory budget is fully
+// released and its spill dir is empty. A clean query closes each sweep
+// to prove the cluster still works on the survivors.
+func TestTCPFaultSweep(t *testing.T) {
+	defer exec.VerifyNoLeaks(t)
+	const (
+		nodes   = 4
+		workers = 5 // one spare beyond the four fault targets
+	)
+	schedule := []tpch.Template{tpch.Q5, tpch.Q3, tpch.Q14, tpch.Q5, tpch.Q3}
+	want := simDigests(t, nodes, schedule)
+	points := []struct {
+		msg   string
+		after int
+	}{{"data", 2}, {"eos", 1}, {"credit", 1}, {"qdone", 1}}
+
+	for _, kind := range []string{adbnet.FaultReset, adbnet.FaultPartial, adbnet.FaultStall, adbnet.FaultKill} {
+		t.Run(kind, func(t *testing.T) {
+			cl, s, cat, data := startSweep(t, workers, nodes)
+			spill := s.Executor().SpillDir
+			rng := rand.New(rand.NewSource(testSeed))
+			for qi, tpl := range schedule {
+				if qi < len(points) {
+					cl.ArmFault(&adbnet.FaultPlan{
+						Proc: qi + 1, Peer: 0,
+						Msg: points[qi].msg, After: points[qi].after, Kind: kind,
+					})
+				}
+				q, err := session.FromSpec(cat, tpch.NewInstance(tpl, data, rng).Spec())
+				if err != nil {
+					t.Fatalf("q%d (%s): %v", qi, tpl, err)
+				}
+				res, err := s.Execute(q)
+				if err != nil {
+					// A surfaced error is an accepted outcome for an
+					// injected fault — never for the closing clean query.
+					if qi >= len(points) {
+						t.Fatalf("clean query after the sweep failed: %v", err)
+					}
+					t.Logf("q%d %s@%s: surfaced: %v", qi, kind, points[qi].msg, err)
+					continue
+				}
+				if got := rowsChecksum(res.Rows); got != want[qi] {
+					t.Fatalf("q%d (%s): checksum %016x != sim %016x", qi, tpl, got, want[qi])
+				}
+				if used := s.Executor().Mem.Used(); used != 0 {
+					t.Fatalf("q%d: %d bytes still charged to the memory budget", qi, used)
+				}
+				if ents, err := os.ReadDir(spill); err != nil || len(ents) != 0 {
+					t.Fatalf("q%d: spill dir not empty after query: %d entries (%v)", qi, len(ents), err)
+				}
+			}
+			cl.Close() // before the parent's deferred leak check
+		})
+	}
+}
+
+// TestTCPFewerWorkersThanFragments covers the round-robin assignment:
+// 8 fragments over 3 workers.
+func TestTCPFewerWorkersThanFragments(t *testing.T) {
+	defer exec.VerifyNoLeaks(t)
+	const nodes = 8
+	schedule := []tpch.Template{tpch.Q3, tpch.Q14}
+	want := simDigests(t, nodes, schedule)
+	cl, s, cat, data := startTPCH(t, 3, nodes, true)
+	rng := rand.New(rand.NewSource(testSeed))
+	for qi, tpl := range schedule {
+		q, err := session.FromSpec(cat, tpch.NewInstance(tpl, data, rng).Spec())
+		if err != nil {
+			t.Fatalf("q%d: %v", qi, err)
+		}
+		res, err := s.Execute(q)
+		if err != nil {
+			t.Fatalf("q%d (%s): %v", qi, tpl, err)
+		}
+		if got := rowsChecksum(res.Rows); got != want[qi] {
+			t.Fatalf("q%d (%s): checksum %016x != sim %016x", qi, tpl, got, want[qi])
+		}
+	}
+	cl.Close() // before the deferred leak check (t.Cleanup runs after it)
+}

@@ -1,0 +1,109 @@
+// Worker process lifecycle. A cluster spawns workers by re-executing
+// its own binary with ADAPTDB_NET_WORKER set; the child's main (or
+// TestMain) calls MaybeWorker after registering its datasets and never
+// returns. Tests that don't need real process isolation run workers as
+// goroutines instead — same sockets, same protocol, no exec.
+package net
+
+import (
+	"fmt"
+	"os"
+	osexec "os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WorkerEnv is the environment variable that turns a process into a
+// worker: "coordinatorAddr|procID".
+const WorkerEnv = "ADAPTDB_NET_WORKER"
+
+// realWorkerProcess is true in a re-exec'd worker process — the kill
+// fault then genuinely exits the process.
+var realWorkerProcess bool
+
+// MaybeWorker turns the current process into a worker when WorkerEnv
+// is set: it runs the worker loop and exits, never returning to the
+// caller. Call it from main/TestMain after RegisterDataset.
+func MaybeWorker() {
+	v := os.Getenv(WorkerEnv)
+	if v == "" {
+		return
+	}
+	addr, procStr, ok := strings.Cut(v, "|")
+	proc := 0
+	if ok {
+		proc, _ = strconv.Atoi(procStr)
+	}
+	if !ok || addr == "" || proc < 1 {
+		fmt.Fprintf(os.Stderr, "adaptdb worker: bad %s=%q\n", WorkerEnv, v)
+		os.Exit(2)
+	}
+	realWorkerProcess = true
+	if err := RunWorker(addr, proc); err != nil {
+		fmt.Fprintf(os.Stderr, "adaptdb worker %d: %v\n", proc, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// spawnedWorker is the coordinator's handle on one launched worker.
+type spawnedWorker struct {
+	proc int
+	cmd  *osexec.Cmd // nil for an in-process worker
+	done chan struct{}
+}
+
+// launchWorker starts worker proc: a goroutine running RunWorker when
+// inProcess, otherwise a re-exec of this binary with WorkerEnv set.
+func launchWorker(coordAddr string, proc int, inProcess bool) (*spawnedWorker, error) {
+	sw := &spawnedWorker{proc: proc, done: make(chan struct{})}
+	if inProcess {
+		go func() {
+			defer close(sw.done)
+			RunWorker(coordAddr, proc)
+		}()
+		return sw, nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("net: locate executable for worker re-exec: %w", err)
+	}
+	cmd := osexec.Command(exe)
+	cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%s|%d", WorkerEnv, coordAddr, proc))
+	cmd.Stdout = os.Stderr // a worker never owns the parent's stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("net: spawn worker %d: %w", proc, err)
+	}
+	sw.cmd = cmd
+	go func() {
+		defer close(sw.done)
+		cmd.Wait()
+	}()
+	return sw, nil
+}
+
+// stop terminates the worker (kill for a process; an in-process worker
+// winds down when its coordinator connection dies) and waits briefly
+// for it to finish.
+func (sw *spawnedWorker) stop() {
+	if sw.cmd != nil && sw.cmd.Process != nil {
+		sw.cmd.Process.Kill()
+	}
+	select {
+	case <-sw.done:
+	case <-time.After(5 * time.Second):
+	}
+}
+
+// Kill force-terminates one worker by proc id — the test wall's
+// external node-death hook for spawned processes (in-process tests use
+// the kill fault instead).
+func (c *Cluster) Kill(proc int) {
+	for _, sw := range c.procs {
+		if sw.proc == proc && sw.cmd != nil && sw.cmd.Process != nil {
+			sw.cmd.Process.Kill()
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Flow-control unit suite: the credit gate's window arithmetic, and —
+// over a real socket pair — the backpressure contract (a slow consumer
+// bounds the sender's outstanding bytes to the credit window) and the
+// cancellation contract (failing an attempt unblocks a sender stuck in
+// acquire and a consumer stuck in next, on both ends, leaking nothing).
+package net
+
+import (
+	"errors"
+	gonet "net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptdb/internal/exec"
+	"adaptdb/internal/tuple"
+	"adaptdb/internal/value"
+)
+
+func TestCreditGateWindow(t *testing.T) {
+	g := newCreditGate(100)
+	if err := g.acquire(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(40); err != nil {
+		t.Fatal(err)
+	}
+	// Window exhausted: the next acquire must block until a grant.
+	done := make(chan error, 1)
+	go func() { done <- g.acquire(30) }()
+	select {
+	case <-done:
+		t.Fatal("acquire returned with no window available")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.grant(30)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreditGateOversizeClamps(t *testing.T) {
+	// A frame larger than the whole window must still flow: acquire
+	// clamps to the window size and overdraws once it is fully idle.
+	g := newCreditGate(100)
+	if err := g.acquire(1000); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.acquire(1000) }()
+	select {
+	case <-done:
+		t.Fatal("second oversize acquire should wait for a full window")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.grant(1000) // grant is capped at max
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreditGateFailUnblocks(t *testing.T) {
+	g := newCreditGate(10)
+	if err := g.acquire(10); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.acquire(10) }()
+	boom := errors.New("boom")
+	g.fail(boom)
+	if err := <-done; err != boom {
+		t.Fatalf("blocked acquire returned %v, want the failure", err)
+	}
+	if err := g.acquire(1); err != boom {
+		t.Fatalf("post-failure acquire returned %v, want the failure", err)
+	}
+}
+
+// pairEndpoints joins two endpoints with one real TCP connection, each
+// serving stream frames into its own attempt table — the minimal
+// producer/consumer topology of the full fabric.
+func pairEndpoints(t *testing.T, window int) (*endpoint, *endpoint, func()) {
+	t.Helper()
+	ln, err := gonet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan gonet.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err == nil {
+			accepted <- nc
+		}
+	}()
+	ncA, err := gonet.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncB := <-accepted
+	ln.Close()
+
+	epA, epB := newEndpoint(0, window), newEndpoint(1, window)
+	ca, cb := newConn(ncA, 0), newConn(ncB, 0)
+	ca.peer, cb.peer = 1, 0
+	epA.setPeer(1, ca)
+	epB.setPeer(0, cb)
+	go ca.serve(func(typ byte, p []byte) error { return epA.handleStreamFrame(ca, typ, p) },
+		func(err error) { epA.peerDied(1, err) })
+	go cb.serve(func(typ byte, p []byte) error { return epB.handleStreamFrame(cb, typ, p) },
+		func(err error) { epB.peerDied(0, err) })
+	closer := func() {
+		ca.die(errors.New("test over"))
+		cb.die(errors.New("test over"))
+	}
+	t.Cleanup(closer) // backstop for Fatal exits
+	return epA, epB, closer
+}
+
+func testFrame(t *testing.T, rows int) []byte {
+	t.Helper()
+	tuples := make([]tuple.Tuple, rows)
+	for i := range tuples {
+		tuples[i] = tuple.Tuple{value.NewInt(int64(i)), value.NewString("backpressure-payload")}
+	}
+	frame, err := tuple.AppendFrame(nil, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestBackpressureBoundsSender pins the flow-control contract: with a
+// deliberately slow consumer, the producer can never be more than one
+// credit window of bytes ahead of consumption.
+func TestBackpressureBoundsSender(t *testing.T) {
+	defer exec.VerifyNoLeaks(t)
+	frame := testFrame(t, 32)
+	window := 4 * len(frame) // fits 4 frames in flight
+	epA, epB, closePair := pairEndpoints(t, window)
+	defer closePair() // runs before the leak check above
+
+	const qid, nFrames = 1, 40
+	key := streamKey{exch: 7, src: 1, dst: 0}
+	hdr := appendStreamHdr(nil, streamHdr{qid: qid, exch: key.exch, src: key.src, dst: key.dst})
+	payload := append(append([]byte(nil), hdr...), frame...)
+
+	atB := epB.attemptFor(qid) // producer side
+	atA := epA.attemptFor(qid) // consumer side
+	q := atA.queueFor(qkey{key.exch, key.dst})
+	q.setExpect(1)
+
+	var sent atomic.Int64 // bytes acquired by the producer
+	sendErr := make(chan error, 1)
+	go func() {
+		gate := atB.gateFor(key)
+		c := epB.peerConn(0)
+		for i := 0; i < nFrames; i++ {
+			if err := gate.acquire(len(frame)); err != nil {
+				sendErr <- err
+				return
+			}
+			sent.Add(int64(len(frame)))
+			if err := c.writeFrame(msgData, payload); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- c.writeFrame(msgEOS, hdr)
+	}()
+
+	var consumed int64
+	batches := 0
+	for {
+		// The producer's acquired bytes can exceed consumption by at
+		// most the window: credits only flow back on consumption.
+		if ahead := sent.Load() - consumed; ahead > int64(window) {
+			t.Fatalf("sender ran %d bytes ahead of the consumer; window is %d", ahead, window)
+		}
+		b, err := q.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		b.Release()
+		consumed += int64(len(frame))
+		batches++
+		time.Sleep(2 * time.Millisecond) // the slow consumer
+	}
+	if batches != nFrames {
+		t.Fatalf("consumed %d frames, want %d", batches, nFrames)
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatal(err)
+	}
+	epA.retire(qid, nil)
+	epB.retire(qid, nil)
+}
+
+// TestCancelUnblocksBothEnds wedges a producer in acquire (window
+// exhausted, nothing consumed) and a consumer in next (nothing left to
+// read) and asserts that retiring the attempt releases both promptly.
+func TestCancelUnblocksBothEnds(t *testing.T) {
+	defer exec.VerifyNoLeaks(t)
+	frame := testFrame(t, 32)
+	window := len(frame) // one frame in flight, then the gate is shut
+	epA, epB, closePair := pairEndpoints(t, window)
+	defer closePair() // runs before the leak check above
+
+	const qid = 9
+	key := streamKey{exch: 3, src: 1, dst: 0}
+	hdr := appendStreamHdr(nil, streamHdr{qid: qid, exch: key.exch, src: key.src, dst: key.dst})
+	payload := append(append([]byte(nil), hdr...), frame...)
+
+	atB := epB.attemptFor(qid)
+	atA := epA.attemptFor(qid)
+
+	sendErr := make(chan error, 1)
+	go func() {
+		gate := atB.gateFor(key)
+		c := epB.peerConn(0)
+		for {
+			if err := gate.acquire(len(frame)); err != nil {
+				sendErr <- err
+				return
+			}
+			if err := c.writeFrame(msgData, payload); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+	}()
+
+	// A consumer on a stream the producer will never finish.
+	q := atA.queueFor(qkey{key.exch, key.dst})
+	q.setExpect(1)
+	recvErr := make(chan error, 1)
+	go func() {
+		for {
+			b, err := q.next()
+			if err != nil || b == nil {
+				recvErr <- err
+				return
+			}
+			// Do not consume further: leave the item queued so no credit
+			// flows back and the producer wedges in acquire.
+			b.Release()
+			q.mu.Lock()
+			q.cond.Wait() // parks until fail broadcasts
+			q.mu.Unlock()
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let both ends wedge
+	cancel := &NetError{Msg: "query canceled"}
+	epA.retire(qid, cancel)
+	epB.retire(qid, cancel)
+
+	for _, ch := range []chan error{sendErr, recvErr} {
+		select {
+		case err := <-ch:
+			if !IsNetError(err) {
+				t.Fatalf("blocked end returned %v, want the cancellation NetError", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("a blocked end did not unblock after retire")
+		}
+	}
+}

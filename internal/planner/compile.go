@@ -44,14 +44,15 @@ func (c *Compiled) OpStats() []exec.OpStats {
 // of Root (Open/Next/Close, or exec.Collect / exec.Count).
 func (r *Runner) Compile(n Node) (*Compiled, error) {
 	c := &Compiled{Report: &Report{}}
-	if r.Ex.Nodes() != nil {
+	if fb := r.Ex.ExecFabric(); fb != nil {
 		// Distributed regime: per-node fragments wired with exchanges
-		// (distributed.go); the root gathers every node's stream.
+		// (distributed.go) over whatever fabric is installed — simulated
+		// NodeSet or TCP; the root gathers every node's stream.
 		d, err := r.compileDist(n, c)
 		if err != nil {
 			return nil, err
 		}
-		c.Root = d.toGlobal()
+		c.Root = d.toGlobal(fb)
 		return c, nil
 	}
 	op, err := r.compile(n, c)

@@ -1,6 +1,8 @@
-// The distributed plan→Operator compiler: when the executor has a
-// NodeSet, Compile lowers the plan into per-node fragments connected by
-// exec.Exchange operators instead of one centralized DAG. Per join it
+// The distributed plan→Operator compiler: when the executor has an
+// execution fabric (a simulated NodeSet or the TCP fabric of
+// internal/net — exec.Fabric abstracts both), Compile lowers the plan
+// into per-node fragments connected by exchange operators instead of
+// one centralized DAG. Per join it
 // chooses between
 //
 //   - co-located hyper-join: both sides have trees on the join
@@ -39,12 +41,14 @@ type distOut struct {
 }
 
 // toGlobal merges a partitioned sub-plan into one coordinator stream,
-// driving every node fragment concurrently.
-func (d distOut) toGlobal() exec.Operator {
+// driving every node fragment concurrently. The fabric supplies the
+// gather: in-process for the simulated NodeSet, frame streams back to
+// the coordinator for the TCP fabric.
+func (d distOut) toGlobal(fb exec.Fabric) exec.Operator {
 	if d.global != nil {
 		return d.global
 	}
-	return exec.Gather(d.parts...)
+	return fb.Gather(d.parts)
 }
 
 // instrumentAt wraps a node fragment with stats collection tagged with
@@ -123,12 +127,12 @@ func (r *Runner) compileDist(n Node, c *Compiled) (distOut, error) {
 
 // exchangeOf hash-partitions a sub-plan across the nodes: partitioned
 // inputs keep their home nodes (same-node deliveries stay off the
-// simulated network), coordinator streams are all-remote.
-func (r *Runner) exchangeOf(ns *exec.NodeSet, d distOut, key int) *exec.Exchange {
+// network), coordinator streams are all-remote.
+func (r *Runner) exchangeOf(fb exec.Fabric, d distOut, key int) exec.Exchanger {
 	if d.global != nil {
-		return ns.ShuffleGlobal(d.global, key)
+		return fb.ShuffleGlobal(d.global, key)
 	}
-	return ns.Shuffle(d.parts, key)
+	return fb.Shuffle(d.parts, key)
 }
 
 // distScan splits a table scan by block placement: node i reads the
@@ -161,18 +165,19 @@ func (r *Runner) distTableJoin(j *Join, l, rt *Scan, c *Compiled) (distOut, erro
 		// co-located and the residual parts exchanged.
 		hy, hyOp := r.hyperOp(p, l, j.LCol, rt, j.RCol)
 		fill := r.reportJoinAccum(c, JoinReport{Strategy: StratCombination}, hy)
+		fb := r.Ex.ExecFabric()
 		parts := []exec.Operator{r.instrument(c, "join[hyper-part]("+pair+")", hyOp, nil)}
 		if len(p.l2) > 0 {
 			lsc := r.distRefsScan(c, l.Table.Name+":residual", p.l2, l.Preds)
 			rsc := r.distScan(c, rt)
-			parts = append(parts, exec.Gather(r.distShuffleParts(c, nil, pair,
-				lsc, j.LCol, refRows(p.l2), rsc, j.RCol, refRows(p.r1)+refRows(p.r2))...))
+			parts = append(parts, fb.Gather(r.distShuffleParts(c, nil, pair,
+				lsc, j.LCol, refRows(p.l2), rsc, j.RCol, refRows(p.r1)+refRows(p.r2))))
 		}
 		if len(p.r2) > 0 {
 			lsc := r.distRefsScan(c, l.Table.Name+":copart", p.l1, l.Preds)
 			rsc := r.distRefsScan(c, rt.Table.Name+":residual", p.r2, rt.Preds)
-			parts = append(parts, exec.Gather(r.distShuffleParts(c, nil, pair,
-				lsc, j.LCol, refRows(p.l1), rsc, j.RCol, refRows(p.r2))...))
+			parts = append(parts, fb.Gather(r.distShuffleParts(c, nil, pair,
+				lsc, j.LCol, refRows(p.l1), rsc, j.RCol, refRows(p.r2))))
 		}
 		op := r.instrument(c, "join[combination]("+pair+")", exec.Concat(parts...), fill)
 		return distOut{global: op}, nil
@@ -183,11 +188,11 @@ func (r *Runner) distTableJoin(j *Join, l, rt *Scan, c *Compiled) (distOut, erro
 // distRefsScan splits an explicit ref set (a combination join's
 // co-partitioned or residual portion) across the nodes by placement.
 func (r *Runner) distRefsScan(c *Compiled, label string, refs []core.BlockRef, preds []predicate.Predicate) distOut {
-	ns := r.Ex.Nodes()
-	byNode := ns.SplitRefs(refs)
-	parts := make([]exec.Operator, ns.N())
+	fb := r.Ex.ExecFabric()
+	byNode := fb.SplitRefs(refs)
+	parts := make([]exec.Operator, fb.N())
 	for i := range parts {
-		parts[i] = r.instrumentAt(c, i, "scan("+label+")", ns.ScanAt(i, byNode[i], preds), nil)
+		parts[i] = r.instrumentAt(c, i, "scan("+label+")", fb.ScanAt(i, byNode[i], preds), nil)
 	}
 	return distOut{parts: parts}
 }
@@ -198,7 +203,7 @@ func (r *Runner) distRefsScan(c *Compiled, label string, refs []core.BlockRef, p
 // output rows into the join's report entry.
 func (r *Runner) distShuffleParts(c *Compiled, fill func(exec.OpStats), pair string,
 	l distOut, lCol, lRows int, rt distOut, rCol, rRows int) []exec.Operator {
-	ns := r.Ex.Nodes()
+	fb := r.Ex.ExecFabric()
 	build, probe := l, rt
 	bCol, pCol := lCol, rCol
 	bRows := lRows
@@ -208,14 +213,14 @@ func (r *Runner) distShuffleParts(c *Compiled, fill func(exec.OpStats), pair str
 		bCol, pCol = rCol, lCol
 		bRows = rRows
 	}
-	bx := r.exchangeOf(ns, build, bCol)
-	px := r.exchangeOf(ns, probe, pCol)
-	parts := make([]exec.Operator, ns.N())
+	bx := r.exchangeOf(fb, build, bCol)
+	px := r.exchangeOf(fb, probe, pCol)
+	parts := make([]exec.Operator, fb.N())
 	// A hash exchange deals the build roughly evenly, so each node's
 	// join sizes its fan-out for a 1/N share.
-	perNode := r.estBuildRows(bRows / ns.N())
-	for i := 0; i < ns.N(); i++ {
-		op := ns.At(i).JoinOp(bx.Output(i), bCol, px.Output(i), pCol,
+	perNode := r.estBuildRows(bRows / fb.N())
+	for i := 0; i < fb.N(); i++ {
+		op := fb.At(i).JoinOp(bx.Output(i), bCol, px.Output(i), pCol,
 			exec.JoinOptions{BuildIsRight: flip, BuildRowsEst: perNode})
 		parts[i] = r.instrumentAt(c, i, "join[shuffle]("+pair+")", op, fill)
 	}
@@ -242,7 +247,7 @@ func (r *Runner) distShuffleParts(c *Compiled, fill func(exec.OpStats), pair str
 // tblFirst reports that the base table is the plan's left child
 // (controls output column order).
 func (r *Runner) distBroadcastJoin(c *Compiled, build distOut, buildRows, buildCol int, sc *Scan, tblCol int, tblFirst bool) distOut {
-	ns := r.Ex.Nodes()
+	fb := r.Ex.ExecFabric()
 	if r.ForceShuffle || sc.Table.TreeFor(tblCol) < 0 {
 		// No tree on the join attribute: both sides hash-exchange.
 		fill := r.reportJoinAccum(c, JoinReport{Strategy: StratShuffle}, nil)
@@ -256,15 +261,15 @@ func (r *Runner) distBroadcastJoin(c *Compiled, build distOut, buildRows, buildC
 			build, buildCol, buildRows, tbl, tblCol, tblRows)}
 	}
 	fill := r.reportJoinAccum(c, JoinReport{Strategy: StratSemiShuffle}, nil)
-	parts := make([]exec.Operator, ns.N())
+	parts := make([]exec.Operator, fb.N())
 	tblRows := refRows(r.scanRefs(sc))
 	if buildRows <= tblRows {
-		bx := ns.Broadcast(build.toGlobal())
+		bx := fb.Broadcast(build.toGlobal(fb))
 		probe := r.distScan(c, sc)
 		// A broadcast build lands whole on every node — no 1/N share.
 		est := r.estBuildRows(buildRows)
-		for i := 0; i < ns.N(); i++ {
-			op := ns.At(i).JoinOp(bx.Output(i), buildCol, probe.parts[i], tblCol,
+		for i := 0; i < fb.N(); i++ {
+			op := fb.At(i).JoinOp(bx.Output(i), buildCol, probe.parts[i], tblCol,
 				exec.JoinOptions{BuildIsRight: tblFirst, BuildRowsEst: est})
 			parts[i] = r.instrumentAt(c, i, "join[semi-shuffle]("+sc.Table.Name+")", op, fill)
 		}
@@ -272,11 +277,11 @@ func (r *Runner) distBroadcastJoin(c *Compiled, build distOut, buildRows, buildC
 	}
 	// Flip: the base table is the small side. Broadcast its (gathered)
 	// per-node scans and deal the intermediate across the nodes.
-	tx := ns.Broadcast(r.distScan(c, sc).toGlobal())
-	px := ns.Deal(build.toGlobal())
+	tx := fb.Broadcast(r.distScan(c, sc).toGlobal(fb))
+	px := fb.Deal(build.toGlobal(fb))
 	est := r.estBuildRows(tblRows)
-	for i := 0; i < ns.N(); i++ {
-		op := ns.At(i).JoinOp(tx.Output(i), tblCol, px.Output(i), buildCol,
+	for i := 0; i < fb.N(); i++ {
+		op := fb.At(i).JoinOp(tx.Output(i), tblCol, px.Output(i), buildCol,
 			exec.JoinOptions{BuildIsRight: !tblFirst, BuildRowsEst: est})
 		parts[i] = r.instrumentAt(c, i, "join[semi-shuffle]("+sc.Table.Name+")", op, fill)
 	}

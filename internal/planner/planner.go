@@ -84,7 +84,20 @@ type Runner struct {
 	// Runners are single-compile objects in the serving layer, so plain
 	// ints suffice.
 	CacheHits, CacheMisses int
+	// LinkWeights are measured per-link cost weights (cluster/links.go,
+	// derived from observed ns-per-byte on the TCP fabric). Their mean
+	// scales the network share of the shuffle estimates — on a cluster
+	// whose links run slower than the calibration assumed, shuffles get
+	// proportionally more expensive relative to hyper-joins, tilting the
+	// §5.4 comparison toward co-partitioning (Bala-Join's communication-
+	// vs-computation pricing). Nil means unmeasured: weight 1, the flat
+	// eq. 1 pricing, bit-identical to the pre-link behavior.
+	LinkWeights cluster.LinkWeights
 }
+
+// netWeight is the scalar the shuffle estimates multiply their network
+// share by — the mean measured link weight, 1 when unmeasured.
+func (r *Runner) netWeight() float64 { return r.LinkWeights.Mean() }
 
 // estBuildRows scales a build-side row estimate by the injected
 // estimate error. 0 stays 0 (unknown); known estimates stay ≥ 1.
@@ -162,13 +175,17 @@ func (r *Runner) estimateHyper(rRefs []core.BlockRef, rCol int, sRefs []core.Blo
 // read-back, priced by SpillRowFactor). Hyper-join never pays this: its
 // §4.1 grouping bounds every build to the block budget, which is
 // exactly the trade the comparison should see under tight memory.
+// Of the CSJ units per row, 1 is the initial read (compute/disk) and
+// CSJ−1 the partition-write + re-read across the network — the share
+// the measured link weights scale.
 func (r *Runner) estimateShuffle(rRefs, sRefs []core.BlockRef) float64 {
 	rRows, sRows := refRows(rRefs), refRows(sRefs)
 	build, probe := rRows, sRows
 	if sRows < rRows {
 		build, probe = sRows, rRows
 	}
-	return r.Model.CSJ*float64(rRows+sRows) + r.spillEstimate(build, probe)
+	csj := 1 + (r.Model.CSJ-1)*r.netWeight()
+	return csj*float64(rRows+sRows) + r.spillEstimate(build, probe)
 }
 
 // estRowBytes approximates a row's in-memory footprint for spill
@@ -212,7 +229,8 @@ func (r *Runner) residualShuffle(aRows, bRows int) float64 {
 	if bRows < aRows {
 		build, probe = bRows, aRows
 	}
-	return r.Model.CSJ*float64(aRows+bRows) + r.spillEstimate(build, probe)
+	csj := 1 + (r.Model.CSJ-1)*r.netWeight()
+	return csj*float64(aRows+bRows) + r.spillEstimate(build, probe)
 }
 
 // tableJoinPlan is the compile-time strategy decision for one

@@ -1,0 +1,133 @@
+// The TCP transport path: a session whose Config carries a net.Cluster
+// executes its stream over real worker processes instead of the
+// in-process simulated fabric. The session's own store is the
+// coordinator's replica — adaptation, compilation and the coordinator-
+// side plan fragments (gathers, broadcast sources, hyper-join globals)
+// run here exactly as in simulated distributed mode; only the exchange
+// transport changes. When an attempt fails with a transport error the
+// session retries it: the cluster reassigns the dead worker's
+// fragments to a surviving replica holder and the query still returns
+// the correct result, which is the failover contract the test wall
+// pins.
+package session
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"adaptdb/internal/exec"
+	adbnet "adaptdb/internal/net"
+	"adaptdb/internal/planner"
+	"adaptdb/internal/tuple"
+)
+
+// runNet executes one query of the stream over the TCP fabric, with
+// replica failover. Mirrors run()'s accounting contract: adapt first
+// (migration I/O on this query's meter, once — workers adapt with
+// throwaway meters), counters captured and reset whatever happens.
+func (s *Session) runNet(q Query, collect bool, sink func(*exec.Batch) error) (*Result, error) {
+	res := &Result{Seq: s.seq, Label: q.Label}
+	seq := s.seq
+	s.seq++
+	start := time.Now()
+	defer func() {
+		if ns := s.ex.Nodes(); ns != nil {
+			ns.Flush()
+		}
+		res.Wall = time.Since(start)
+		res.Counters = s.meter.Reset()
+		res.SimSeconds = res.Counters.SimSeconds(s.model)
+	}()
+
+	if q.Spec == nil {
+		return res, fmt.Errorf("session: %q: the TCP transport requires declarative specs (hand-built plans cannot be dispatched)", q.Label)
+	}
+
+	// Adaptation votes come from the spec's join graph, never from a
+	// hand-set Uses list: every worker replica derives its votes from
+	// the same bound spec, and the coordinator must match them exactly
+	// or layouts drift apart.
+	adapt, err := s.opt.OnQuery(q.Spec.Uses(), s.meter)
+	if err != nil {
+		return res, fmt.Errorf("session: adapt %q: %w", q.Label, err)
+	}
+	res.Adapt = adapt
+
+	ctx := s.ex.Ctx()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var comp *planner.Compiled
+	var rows []tuple.Tuple
+	for attemptN := 1; ; attemptN++ {
+		at, err := s.net.Begin(q.Spec.Spec, seq, s.runner.LinkWeights)
+		if err != nil {
+			return res, fmt.Errorf("session: dispatch %q: %w", q.Label, err)
+		}
+		fb, err := at.Fabric(s.ex)
+		if err != nil {
+			at.Finish(err, s.meter)
+			return res, fmt.Errorf("session: %q: %w", q.Label, err)
+		}
+		s.ex.SetFabric(fb)
+		comp, err = s.runner.CompileSpec(q.Spec)
+		s.ex.SetFabric(nil)
+		if err != nil {
+			at.Finish(err, s.meter)
+			return res, fmt.Errorf("session: compile %q: %w", q.Label, err)
+		}
+		at.Start(ctx)
+
+		rows, err = exec.Collect(comp.Root)
+		execErr := err
+		retry, ferr := at.Finish(execErr, s.meter)
+		if execErr == nil && ferr == nil {
+			break
+		}
+		if ferr == nil {
+			ferr = execErr
+		}
+		if retry && attemptN < s.net.MaxAttempts() {
+			continue
+		}
+		return res, fmt.Errorf("session: execute %q (attempt %d): %w", q.Label, attemptN, ferr)
+	}
+
+	// Measured link weights feed the next compile's shuffle pricing.
+	if w := s.net.Weights(); w != nil {
+		s.runner.LinkWeights = w
+	}
+
+	res.Report = comp.Report
+	res.Ops = comp.OpStats()
+	res.RowCount = len(rows)
+	if collect {
+		res.Rows = rows
+	} else if sink != nil {
+		// Replay the materialized result through the sink in batches.
+		// (Streaming straight into the sink would hand it rows from
+		// attempts that later fail over; materializing first keeps the
+		// sink exactly-once.)
+		for off := 0; off < len(rows); off += exec.DefaultBatchSize {
+			end := off + exec.DefaultBatchSize
+			if end > len(rows) {
+				end = len(rows)
+			}
+			b := exec.NewBatch()
+			for _, r := range rows[off:end] {
+				b.Append(r)
+			}
+			err := sink(b)
+			b.Release()
+			if err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// Net exposes the session's cluster handle (nil without TCP transport).
+func (s *Session) Net() *adbnet.Cluster { return s.net }

@@ -34,6 +34,7 @@ import (
 	"adaptdb/internal/cluster"
 	"adaptdb/internal/dfs"
 	"adaptdb/internal/exec"
+	adbnet "adaptdb/internal/net"
 	"adaptdb/internal/optimizer"
 	"adaptdb/internal/planner"
 	"adaptdb/internal/query"
@@ -107,6 +108,14 @@ type Config struct {
 	// distributed mode (0 = one worker per node, so aggregate
 	// parallelism scales with the cluster).
 	WorkersPerNode int
+	// Net switches the exchange transport from the in-process simulated
+	// fabric to a running TCP cluster (see internal/net): queries
+	// dispatch to real worker processes and results gather back over
+	// sockets, with transparent replica failover on worker death. The
+	// session's store must be the coordinator replica of the same
+	// dataset the cluster's workers built, with NumNodes equal to the
+	// cluster's fragment count. Implies Distributed.
+	Net *adbnet.Cluster
 }
 
 // Session executes a query stream with adaptation interleaved.
@@ -118,6 +127,7 @@ type Session struct {
 	opt    *optimizer.Optimizer
 	model  cluster.CostModel
 	meter  *cluster.Meter
+	net    *adbnet.Cluster
 	seq    int
 }
 
@@ -132,7 +142,7 @@ func New(store *dfs.Store, cfg Config) *Session {
 	ex.Workers = cfg.Workers
 	ex.Mem = exec.NewMemBudget(cfg.MemBudget)
 	ex.SpillDir = cfg.SpillDir
-	if cfg.Distributed {
+	if cfg.Distributed || cfg.Net != nil {
 		// After the budget: EnableNodes splits it into per-node shares.
 		ex.EnableNodes(cfg.WorkersPerNode)
 	}
@@ -147,6 +157,7 @@ func New(store *dfs.Store, cfg Config) *Session {
 		opt:    optimizer.New(cfg.Optimizer),
 		model:  model,
 		meter:  meter,
+		net:    cfg.Net,
 	}
 }
 
@@ -211,6 +222,9 @@ func (s *Session) StreamContext(ctx context.Context, q Query, sink func(*exec.Ba
 }
 
 func (s *Session) run(q Query, collect bool, sink func(*exec.Batch) error) (*Result, error) {
+	if s.net != nil {
+		return s.runNet(q, collect, sink)
+	}
 	res := &Result{Seq: s.seq, Label: q.Label}
 	s.seq++
 	start := time.Now()

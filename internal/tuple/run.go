@@ -91,6 +91,15 @@ func decodeFrame(src []byte, s *FrameScratch) ([]Tuple, int, error) {
 		return nil, pos, nil
 	}
 	nVals := int(nRows * nCols)
+	// Every encoded value takes at least one byte, so a frame claiming
+	// more values than it has bytes left is corrupt. Checking before the
+	// allocation bounds decode memory by the input length — a 20-byte
+	// frame with a fabricated 16M-value header allocates nothing, where
+	// the frameLimit guard alone would let it claim ~640MB of Tuple
+	// storage before the value decode loop failed.
+	if nVals > len(src)-pos {
+		return nil, 0, fmt.Errorf("tuple: frame: %d values claimed in %d remaining bytes", nVals, len(src)-pos)
+	}
 	var flat Tuple
 	var rows []Tuple
 	if s != nil {
